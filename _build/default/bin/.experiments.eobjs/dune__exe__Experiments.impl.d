@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner List Manpage Printf Rt_core Rt_metrics String Term Unix

@@ -1,0 +1,1 @@
+bin/soak.ml: Arg Array Client Cluster Cmd Cmdliner Config Failure List Option Printf Result Rt_commit Rt_core Rt_metrics Rt_replica Rt_sim Rt_storage Rt_workload Site Term

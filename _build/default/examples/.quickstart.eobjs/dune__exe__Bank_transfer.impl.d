@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Cluster Config Failure List Option Printf Rt_core Rt_replica Rt_sim Rt_storage Rt_workload Site

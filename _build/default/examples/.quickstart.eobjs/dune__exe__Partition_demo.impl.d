@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Array Cluster Config List Printf Rt_core Rt_replica Rt_sim Rt_storage Rt_workload Site

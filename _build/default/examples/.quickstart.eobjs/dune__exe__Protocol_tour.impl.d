@@ -1,0 +1,1 @@
+examples/protocol_tour.ml: Array List Printf Protocol Rt_commit Sandbox Two_pc

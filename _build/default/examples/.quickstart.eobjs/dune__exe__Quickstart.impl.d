@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cluster Config Format Printf Rt_core Rt_sim Rt_storage Rt_workload Site

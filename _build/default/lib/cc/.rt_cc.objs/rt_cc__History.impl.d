@@ -1,0 +1,1 @@
+lib/cc/history.ml: Array Hashtbl Ids Int List Rt_lock Rt_types Set

@@ -1,0 +1,1 @@
+lib/cc/history.mli: Ids Rt_types

@@ -1,0 +1,1 @@
+lib/cc/occ.ml: Hashtbl History Ids Kv Option Rt_storage Rt_types Scheduler

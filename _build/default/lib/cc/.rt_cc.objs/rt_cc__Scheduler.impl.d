@@ -1,0 +1,1 @@
+lib/cc/scheduler.ml: History Ids Kv Rt_sim Rt_storage Rt_types

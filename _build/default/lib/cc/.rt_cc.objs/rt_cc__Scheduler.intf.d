@@ -1,0 +1,1 @@
+lib/cc/scheduler.mli: History Ids Kv Rt_sim Rt_storage Rt_types

@@ -1,0 +1,1 @@
+lib/cc/timestamp_order.ml: Hashtbl History Ids Kv List Option Rt_storage Rt_types Scheduler

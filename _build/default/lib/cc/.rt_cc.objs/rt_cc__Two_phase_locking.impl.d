@@ -1,0 +1,1 @@
+lib/cc/two_phase_locking.ml: Hashtbl History Ids Kv List Option Rt_lock Rt_storage Rt_types Scheduler

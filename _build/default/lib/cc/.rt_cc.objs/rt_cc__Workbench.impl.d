@@ -1,0 +1,1 @@
+lib/cc/workbench.ml: Array Engine History Ids Occ Option Rng Rt_sim Rt_storage Rt_types Rt_workload Scheduler Time Timestamp_order Two_phase_locking

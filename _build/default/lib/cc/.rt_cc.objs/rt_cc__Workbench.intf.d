@@ -1,0 +1,1 @@
+lib/cc/workbench.mli: Rt_sim Rt_workload Time

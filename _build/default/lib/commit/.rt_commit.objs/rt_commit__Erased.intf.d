@@ -1,0 +1,1 @@
+lib/commit/erased.mli: Protocol Quorum_commit Three_pc Two_pc

@@ -1,0 +1,1 @@
+lib/commit/protocol.ml: Format Ids Int List Rt_sim Rt_types

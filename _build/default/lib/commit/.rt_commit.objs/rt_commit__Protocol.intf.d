@@ -1,0 +1,1 @@
+lib/commit/protocol.mli: Format Ids Rt_sim Rt_types

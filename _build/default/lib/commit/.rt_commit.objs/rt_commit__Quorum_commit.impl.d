@@ -1,0 +1,1 @@
+lib/commit/quorum_commit.ml: Ids Int List Option Protocol Rt_types Set

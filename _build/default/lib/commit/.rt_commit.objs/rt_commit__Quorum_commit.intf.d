@@ -1,0 +1,1 @@
+lib/commit/quorum_commit.mli: Ids Protocol Rt_types

@@ -1,0 +1,1 @@
+lib/commit/sandbox.ml: Array Erased Format Hashtbl Ids List Option Printf Protocol Quorum_commit Rt_sim Rt_types Three_pc Two_pc

@@ -1,0 +1,1 @@
+lib/commit/sandbox.mli: Ids Protocol Rt_types Two_pc

@@ -1,0 +1,1 @@
+lib/commit/three_pc.ml: Ids Int List Protocol Rt_types Set

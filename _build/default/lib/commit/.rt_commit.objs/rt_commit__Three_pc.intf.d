@@ -1,0 +1,1 @@
+lib/commit/three_pc.mli: Ids Protocol Rt_types

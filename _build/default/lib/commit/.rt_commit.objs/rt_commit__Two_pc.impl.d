@@ -1,0 +1,1 @@
+lib/commit/two_pc.ml: Format Ids Int List Protocol Rt_types Set

@@ -1,0 +1,1 @@
+lib/commit/two_pc.mli: Format Ids Protocol Rt_types

@@ -1,0 +1,92 @@
+open Protocol
+
+type t = {
+  step : input -> t * action list;
+  decision : decision option;
+  pstate : participant_state;
+  blocked : bool;
+}
+
+let rec of_2pc_coord c =
+  {
+    step =
+      (fun i ->
+        let c', a = Two_pc.coord_step c i in
+        (of_2pc_coord c', a));
+    decision = Two_pc.coord_decision c;
+    pstate = P_uncertain;
+    blocked = false;
+  }
+
+let rec of_2pc_part p =
+  {
+    step =
+      (fun i ->
+        let p', a = Two_pc.part_step p i in
+        (of_2pc_part p', a));
+    decision = Two_pc.part_decision p;
+    pstate = Two_pc.part_state p;
+    blocked = Two_pc.part_blocked p;
+  }
+
+let rec of_3pc_coord c =
+  {
+    step =
+      (fun i ->
+        let c', a = Three_pc.coord_step c i in
+        (of_3pc_coord c', a));
+    decision = Three_pc.coord_decision c;
+    pstate = P_uncertain;
+    blocked = false;
+  }
+
+let rec of_3pc_part p =
+  {
+    step =
+      (fun i ->
+        let p', a = Three_pc.part_step p i in
+        (of_3pc_part p', a));
+    decision = Three_pc.part_decision p;
+    pstate = Three_pc.part_state p;
+    blocked = Three_pc.part_blocked p;
+  }
+
+let rec of_qc_coord c =
+  {
+    step =
+      (fun i ->
+        let c', a = Quorum_commit.coord_step c i in
+        (of_qc_coord c', a));
+    decision = Quorum_commit.coord_decision c;
+    pstate = P_uncertain;
+    blocked = Quorum_commit.coord_blocked c;
+  }
+
+let rec of_qc_part p =
+  {
+    step =
+      (fun i ->
+        let p', a = Quorum_commit.part_step p i in
+        (of_qc_part p', a));
+    decision = Quorum_commit.part_decision p;
+    pstate = Quorum_commit.part_state p;
+    blocked = Quorum_commit.part_blocked p;
+  }
+
+let rec finished d =
+  {
+    step =
+      (fun i ->
+        match i with
+        | Recv (src, Decision_req) -> (finished d, [ Send (src, Decision_msg d) ])
+        | Recv (src, State_req) ->
+            let st = match d with Commit -> P_committed | Abort -> P_aborted in
+            (finished d, [ Send (src, State_report st) ])
+        | Recv (src, Pq_state_req e) ->
+            let st = match d with Commit -> P_committed | Abort -> P_aborted in
+            (finished d, [ Send (src, Pq_state_report (e, st)) ])
+        | _ -> (finished d, []));
+    decision = Some d;
+    pstate = (match d with Commit -> P_committed | Abort -> P_aborted);
+    blocked = false;
+  }

@@ -1,0 +1,32 @@
+(** Type-erased commitment machines.
+
+    The cluster engine and the sandbox both need to hold "some protocol
+    machine" without caring which protocol it is; this module wraps each
+    concrete machine in a record of closures exposing the uniform step
+    function and the observable facets (decision, participant state,
+    blockedness). *)
+
+open Protocol
+
+type t = {
+  step : input -> t * action list;
+  decision : decision option;
+  pstate : participant_state;
+  blocked : bool;
+}
+
+val of_2pc_coord : Two_pc.coord -> t
+
+val of_2pc_part : Two_pc.part -> t
+
+val of_3pc_coord : Three_pc.coord -> t
+
+val of_3pc_part : Three_pc.part -> t
+
+val of_qc_coord : Quorum_commit.coord -> t
+
+val of_qc_part : Quorum_commit.part -> t
+
+val finished : decision -> t
+(** A site that already knows the outcome: answers [Decision_req] and
+    state requests, ignores everything else. *)

@@ -1,0 +1,147 @@
+open Rt_types
+
+type decision = Commit | Abort
+
+let pp_decision fmt = function
+  | Commit -> Format.pp_print_string fmt "commit"
+  | Abort -> Format.pp_print_string fmt "abort"
+
+let decision_equal (a : decision) b = a = b
+
+type msg =
+  | Vote_req
+  | Vote_yes
+  | Vote_no
+  | Vote_read_only
+  | Precommit_msg
+  | Precommit_ack
+  | Decision_msg of decision
+  | Decision_ack
+  | Decision_req
+  | Decision_unknown
+  | State_req
+  | State_report of participant_state
+  | Pq_state_req of epoch
+  | Pq_state_report of epoch * participant_state
+  | Pq_precommit of epoch
+  | Pq_precommit_ack of epoch
+  | Pq_preabort of epoch
+  | Pq_preabort_ack of epoch
+
+and participant_state =
+  | P_uncertain
+  | P_precommitted
+  | P_preaborted
+  | P_committed
+  | P_aborted
+
+and epoch = int * Ids.site_id
+
+let epoch_compare (r1, s1) (r2, s2) =
+  let c = Int.compare r1 r2 in
+  if c <> 0 then c else Int.compare s1 s2
+
+let pp_participant_state fmt = function
+  | P_uncertain -> Format.pp_print_string fmt "uncertain"
+  | P_precommitted -> Format.pp_print_string fmt "precommitted"
+  | P_preaborted -> Format.pp_print_string fmt "preaborted"
+  | P_committed -> Format.pp_print_string fmt "committed"
+  | P_aborted -> Format.pp_print_string fmt "aborted"
+
+let pp_epoch fmt (r, s) = Format.fprintf fmt "%d.%d" r s
+
+let pp_msg fmt = function
+  | Vote_req -> Format.pp_print_string fmt "vote-req"
+  | Vote_yes -> Format.pp_print_string fmt "vote-yes"
+  | Vote_no -> Format.pp_print_string fmt "vote-no"
+  | Vote_read_only -> Format.pp_print_string fmt "vote-read-only"
+  | Precommit_msg -> Format.pp_print_string fmt "precommit"
+  | Precommit_ack -> Format.pp_print_string fmt "precommit-ack"
+  | Decision_msg d -> Format.fprintf fmt "decision(%a)" pp_decision d
+  | Decision_ack -> Format.pp_print_string fmt "decision-ack"
+  | Decision_req -> Format.pp_print_string fmt "decision-req"
+  | Decision_unknown -> Format.pp_print_string fmt "decision-unknown"
+  | State_req -> Format.pp_print_string fmt "state-req"
+  | State_report s -> Format.fprintf fmt "state(%a)" pp_participant_state s
+  | Pq_state_req e -> Format.fprintf fmt "pq-state-req(%a)" pp_epoch e
+  | Pq_state_report (e, s) ->
+      Format.fprintf fmt "pq-state(%a,%a)" pp_epoch e pp_participant_state s
+  | Pq_precommit e -> Format.fprintf fmt "pq-precommit(%a)" pp_epoch e
+  | Pq_precommit_ack e -> Format.fprintf fmt "pq-precommit-ack(%a)" pp_epoch e
+  | Pq_preabort e -> Format.fprintf fmt "pq-preabort(%a)" pp_epoch e
+  | Pq_preabort_ack e -> Format.fprintf fmt "pq-preabort-ack(%a)" pp_epoch e
+
+type log_tag =
+  | L_collecting
+  | L_prepared
+  | L_precommit
+  | L_preabort
+  | L_decision of decision
+  | L_end
+
+let pp_log_tag fmt = function
+  | L_collecting -> Format.pp_print_string fmt "collecting"
+  | L_prepared -> Format.pp_print_string fmt "prepared"
+  | L_precommit -> Format.pp_print_string fmt "precommit"
+  | L_preabort -> Format.pp_print_string fmt "preabort"
+  | L_decision d -> Format.fprintf fmt "decision(%a)" pp_decision d
+  | L_end -> Format.pp_print_string fmt "end"
+
+type timer = T_votes | T_decision | T_precommit_ack | T_state | T_resend
+
+let pp_timer fmt = function
+  | T_votes -> Format.pp_print_string fmt "votes"
+  | T_decision -> Format.pp_print_string fmt "decision"
+  | T_precommit_ack -> Format.pp_print_string fmt "precommit-ack"
+  | T_state -> Format.pp_print_string fmt "state"
+  | T_resend -> Format.pp_print_string fmt "resend"
+
+type action =
+  | Send of Ids.site_id * msg
+  | Log of log_tag * [ `Forced | `Lazy ]
+  | Deliver of decision
+  | Set_timer of timer * Rt_sim.Time.t
+  | Clear_timer of timer
+  | Blocked
+  | Forget
+
+let pp_action fmt = function
+  | Send (dst, m) -> Format.fprintf fmt "send(%a,%a)" Ids.pp_site dst pp_msg m
+  | Log (tag, `Forced) -> Format.fprintf fmt "log!(%a)" pp_log_tag tag
+  | Log (tag, `Lazy) -> Format.fprintf fmt "log(%a)" pp_log_tag tag
+  | Deliver d -> Format.fprintf fmt "deliver(%a)" pp_decision d
+  | Set_timer (t, d) ->
+      Format.fprintf fmt "set-timer(%a,%a)" pp_timer t Rt_sim.Time.pp d
+  | Clear_timer t -> Format.fprintf fmt "clear-timer(%a)" pp_timer t
+  | Blocked -> Format.pp_print_string fmt "blocked"
+  | Forget -> Format.pp_print_string fmt "forget"
+
+type input =
+  | Start
+  | Recv of Ids.site_id * msg
+  | Log_done of log_tag
+  | Timeout of timer
+  | Peer_down of Ids.site_id
+  | Peers_reachable of Ids.site_id list
+
+let pp_input fmt = function
+  | Start -> Format.pp_print_string fmt "start"
+  | Recv (src, m) -> Format.fprintf fmt "recv(%a,%a)" Ids.pp_site src pp_msg m
+  | Log_done tag -> Format.fprintf fmt "log-done(%a)" pp_log_tag tag
+  | Timeout t -> Format.fprintf fmt "timeout(%a)" pp_timer t
+  | Peer_down s -> Format.fprintf fmt "peer-down(%a)" Ids.pp_site s
+  | Peers_reachable l ->
+      Format.fprintf fmt "peers-reachable(%d)" (List.length l)
+
+type timeouts = {
+  vote_collect : Rt_sim.Time.t;
+  decision_wait : Rt_sim.Time.t;
+  resend_every : Rt_sim.Time.t;
+}
+
+let default_timeouts =
+  {
+    vote_collect = Rt_sim.Time.ms 50;
+    decision_wait = Rt_sim.Time.ms 50;
+    resend_every = Rt_sim.Time.ms 100;
+  }

@@ -1,0 +1,129 @@
+(** Shared vocabulary for atomic-commitment state machines.
+
+    Every protocol (2PC and its presumption variants, 3PC, quorum commit)
+    is expressed as pure transition functions from [input] to a new state
+    plus a list of [action]s.  The environment — a simulated site, or a
+    test driver — interprets actions: it ships messages, performs (forced)
+    log writes and reports their completion, runs timers, and surfaces the
+    final decision to the transaction manager.
+
+    Keeping the machines pure makes them directly checkable: unit tests
+    drive exact interleavings, property tests assert agreement/validity
+    across randomly generated schedules, and a small exhaustive explorer
+    covers every crash point. *)
+
+open Rt_types
+
+type decision = Commit | Abort
+
+val pp_decision : Format.formatter -> decision -> unit
+
+val decision_equal : decision -> decision -> bool
+
+(** Protocol messages.  The transaction id is carried by the envelope at
+    the transport layer, not here. *)
+type msg =
+  | Vote_req  (** Coordinator solicits votes (2PC/3PC phase 1). *)
+  | Vote_yes
+  | Vote_no
+  | Vote_read_only
+      (** 2PC read-only optimization: the participant performed no writes,
+          releases immediately, and skips phase 2 entirely. *)
+  | Precommit_msg  (** 3PC / quorum commit: enter the pre-commit state. *)
+  | Precommit_ack
+  | Decision_msg of decision
+  | Decision_ack
+  | Decision_req  (** Termination: "what was decided?" *)
+  | Decision_unknown
+      (** Reply when the asked site is itself uncertain. *)
+  | State_req  (** 3PC termination: new coordinator collects states. *)
+  | State_report of participant_state
+  | Pq_state_req of epoch
+      (** Quorum-commit termination: epoch-tagged state collection. *)
+  | Pq_state_report of epoch * participant_state
+  | Pq_precommit of epoch
+  | Pq_precommit_ack of epoch
+  | Pq_preabort of epoch
+  | Pq_preabort_ack of epoch
+
+and participant_state =
+  | P_uncertain
+  | P_precommitted
+  | P_preaborted  (** Quorum commit only. *)
+  | P_committed
+  | P_aborted
+      (** Abstract state a participant reports during termination. *)
+
+and epoch = int * Ids.site_id
+(** Election epochs order competing termination coordinators: a round
+    counter with the coordinator's site id as tie-break.  Sites only obey
+    the highest epoch they have seen, which is what makes quorum-commit
+    decisions safe under partitions. *)
+
+val epoch_compare : epoch -> epoch -> int
+
+val pp_participant_state : Format.formatter -> participant_state -> unit
+
+val pp_msg : Format.formatter -> msg -> unit
+
+(** Log records the machines ask the environment to write.  [`Forced]
+    means the action's continuation input ([Log_done]) must only be fed
+    back once the record is durable. *)
+type log_tag =
+  | L_collecting  (** Presumed-commit coordinator's begin record. *)
+  | L_prepared
+  | L_precommit
+  | L_preabort  (** Quorum commit only. *)
+  | L_decision of decision
+  | L_end
+
+val pp_log_tag : Format.formatter -> log_tag -> unit
+
+type timer = T_votes | T_decision | T_precommit_ack | T_state | T_resend
+
+val pp_timer : Format.formatter -> timer -> unit
+
+type action =
+  | Send of Ids.site_id * msg
+  | Log of log_tag * [ `Forced | `Lazy ]
+      (** For [`Forced], the environment must deliver [Log_done tag] when
+          durable; [`Lazy] writes need no completion input. *)
+  | Deliver of decision
+      (** Surface the outcome to the local transaction manager (commit or
+          roll back the local effects, release locks). Emitted exactly
+          once per machine run. *)
+  | Set_timer of timer * Rt_sim.Time.t
+  | Clear_timer of timer
+  | Blocked
+      (** The machine cannot make progress until some site recovers —
+          emitted when 2PC termination exhausts its options.  Purely
+          informational, used to measure blocking. *)
+  | Forget
+      (** Local involvement is over with no decision to remember: release
+          locks and buffers (read-only participants after voting). *)
+
+val pp_action : Format.formatter -> action -> unit
+
+type input =
+  | Start  (** Kick off the protocol (coordinator only). *)
+  | Recv of Ids.site_id * msg
+  | Log_done of log_tag
+  | Timeout of timer
+  | Peer_down of Ids.site_id
+      (** Failure detector hint; machines may use it to short-circuit
+          waiting for a dead site. *)
+  | Peers_reachable of Ids.site_id list
+      (** Full replacement of the reachability view (partitions heal as
+          well as form).  Used by the 3PC and quorum-commit termination
+          machinery; other machines ignore it. *)
+
+val pp_input : Format.formatter -> input -> unit
+
+(** Timeout configuration shared by all machines. *)
+type timeouts = {
+  vote_collect : Rt_sim.Time.t;  (** Coordinator waits for votes. *)
+  decision_wait : Rt_sim.Time.t;  (** Participant waits for the outcome. *)
+  resend_every : Rt_sim.Time.t;  (** Termination retry period. *)
+}
+
+val default_timeouts : timeouts

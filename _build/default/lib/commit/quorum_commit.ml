@@ -1,0 +1,471 @@
+open Rt_types
+open Protocol
+module Sset = Set.Make (Int)
+
+type config = {
+  all : Ids.site_id list;
+  commit_quorum : int;
+  abort_quorum : int;
+}
+
+let config ~all ?commit_quorum ?abort_quorum () =
+  let n = List.length all in
+  if n = 0 then invalid_arg "Quorum_commit.config: no participants";
+  let majority = (n / 2) + 1 in
+  let vc = Option.value commit_quorum ~default:majority in
+  let va = Option.value abort_quorum ~default:majority in
+  if vc <= 0 || va <= 0 || vc > n || va > n then
+    invalid_arg "Quorum_commit.config: quorum out of range";
+  if vc + va <= n then
+    invalid_arg "Quorum_commit.config: Vc + Va must exceed the site count";
+  { all; commit_quorum = vc; abort_quorum = va }
+
+let send_to set msg = List.map (fun p -> Send (p, msg)) (Sset.elements set)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type coord_phase =
+  | C_init
+  | C_collecting of { pending : Sset.t; yes : Sset.t }
+  | C_logging_precommit
+  | C_precommit_wait of { pc : Sset.t; pending : Sset.t; blocked : bool }
+  | C_logging_decision of { d : decision; yes : Sset.t }
+  | C_abort_wait of { await : Sset.t }
+  | C_done of decision
+
+type coord = {
+  c_cfg : config;
+  c_self : Ids.site_id;
+  c_all : Sset.t;
+  c_timeouts : timeouts;
+  c_phase : coord_phase;
+}
+
+let coordinator ~config ~self ~timeouts =
+  {
+    c_cfg = config;
+    c_self = self;
+    c_all = Sset.of_list config.all;
+    c_timeouts = timeouts;
+    c_phase = C_init;
+  }
+
+let coord_decision c =
+  match c.c_phase with
+  | C_logging_decision { d; _ } | C_done d -> Some d
+  | C_abort_wait _ -> Some Abort
+  | _ -> None
+
+let coord_blocked c =
+  match c.c_phase with
+  | C_precommit_wait { blocked; _ } -> blocked
+  | _ -> false
+
+let epoch0 c : epoch = (0, c.c_self)
+
+let coord_abort c ~yes =
+  ( { c with c_phase = C_logging_decision { d = Abort; yes } },
+    [ Clear_timer T_votes; Log (L_decision Abort, `Forced) ] )
+
+let coord_check_commit c ~pc ~pending =
+  if Sset.cardinal pc >= c.c_cfg.commit_quorum then
+    ( { c with c_phase = C_logging_decision { d = Commit; yes = c.c_all } },
+      [ Clear_timer T_precommit_ack; Clear_timer T_resend;
+        Log (L_decision Commit, `Forced) ] )
+  else
+    ({ c with c_phase = C_precommit_wait { pc; pending; blocked = false } }, [])
+
+let coord_step c input =
+  match (c.c_phase, input) with
+  | C_init, Start ->
+      ( { c with c_phase = C_collecting { pending = c.c_all; yes = Sset.empty } },
+        send_to c.c_all Vote_req
+        @ [ Set_timer (T_votes, c.c_timeouts.vote_collect) ] )
+  | C_collecting { pending; yes }, Recv (src, Vote_yes) ->
+      let pending = Sset.remove src pending in
+      let yes = Sset.add src yes in
+      if Sset.is_empty pending then
+        ( { c with c_phase = C_logging_precommit },
+          [ Clear_timer T_votes; Log (L_precommit, `Forced) ] )
+      else ({ c with c_phase = C_collecting { pending; yes } }, [])
+  | C_collecting { yes; _ }, Recv (src, Vote_no) ->
+      coord_abort c ~yes:(Sset.remove src yes)
+  | C_collecting { yes; _ }, Timeout T_votes -> coord_abort c ~yes
+  | C_collecting { pending; yes }, Peer_down p when Sset.mem p pending ->
+      coord_abort c ~yes
+  | C_logging_precommit, Log_done L_precommit ->
+      ( { c with
+          c_phase = C_precommit_wait
+              { pc = Sset.empty; pending = c.c_all; blocked = false } },
+        send_to c.c_all (Pq_precommit (epoch0 c))
+        @ [ Set_timer (T_precommit_ack, c.c_timeouts.decision_wait) ] )
+  | C_precommit_wait { pc; pending; _ }, Recv (src, Pq_precommit_ack e)
+    when epoch_compare e (epoch0 c) = 0 ->
+      coord_check_commit c ~pc:(Sset.add src pc) ~pending:(Sset.remove src pending)
+  | C_precommit_wait { pc; pending; blocked }, Timeout (T_precommit_ack | T_resend)
+    ->
+      if Sset.cardinal pc >= c.c_cfg.commit_quorum then
+        coord_check_commit c ~pc ~pending
+      else
+        (* Quorum not reachable: keep trying; the blocked flag is the
+           measurement hook for experiment F5/F8. *)
+        ( { c with c_phase = C_precommit_wait { pc; pending; blocked = true } },
+          send_to pending (Pq_precommit (epoch0 c))
+          @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ]
+          @ (if blocked then [] else [ Blocked ]) )
+  | C_logging_decision { d = Commit; _ }, Log_done (L_decision Commit) ->
+      ( { c with c_phase = C_done Commit },
+        send_to c.c_all (Decision_msg Commit)
+        @ [ Deliver Commit; Log (L_end, `Lazy) ] )
+  | C_logging_decision { d = Abort; yes }, Log_done (L_decision Abort) ->
+      if Sset.is_empty yes then
+        ({ c with c_phase = C_done Abort }, [ Deliver Abort; Log (L_end, `Lazy) ])
+      else
+        ( { c with c_phase = C_abort_wait { await = yes } },
+          send_to yes (Decision_msg Abort)
+          @ [ Set_timer (T_resend, c.c_timeouts.resend_every); Deliver Abort ] )
+  | C_abort_wait { await }, Recv (src, Decision_ack) ->
+      let await = Sset.remove src await in
+      if Sset.is_empty await then
+        ( { c with c_phase = C_done Abort },
+          [ Clear_timer T_resend; Log (L_end, `Lazy) ] )
+      else ({ c with c_phase = C_abort_wait { await } }, [])
+  | C_abort_wait { await }, Timeout T_resend ->
+      ( c,
+        send_to await (Decision_msg Abort)
+        @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
+  | (C_done d | C_logging_decision { d; _ }), Recv (src, Decision_req) ->
+      (c, [ Send (src, Decision_msg d) ])
+  | _, Recv (src, Decision_req) -> (c, [ Send (src, Decision_unknown) ])
+  | _, (Recv _ | Timeout _ | Log_done _ | Peer_down _ | Peers_reachable _
+        | Start) ->
+      (c, [])
+
+(* ------------------------------------------------------------------ *)
+(* Participant                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type base =
+  | B_idle
+  | B_logging_prepared
+  | B_uncertain
+  | B_logging_precommit of { ack_to : Ids.site_id option; at : epoch }
+  | B_precommitted
+  | B_logging_preabort of { ack_to : Ids.site_id option; at : epoch }
+  | B_preaborted
+  | B_logging_outcome of decision
+  | B_finished of decision
+
+type leader_phase =
+  | L_collect of {
+      awaiting : Sset.t;
+      reports : (Ids.site_id * participant_state) list;
+    }
+  | L_drive_commit of { pc : Sset.t; awaiting : Sset.t }
+  | L_drive_abort of { pa : Sset.t; awaiting : Sset.t }
+  | L_decided of decision
+
+type role = R_normal | R_follower | R_leader of leader_phase
+
+type part = {
+  p_cfg : config;
+  p_self : Ids.site_id;
+  p_coordinator : Ids.site_id;
+  p_vote : bool;
+  p_timeouts : timeouts;
+  p_up : Sset.t;  (* participants currently reachable, self included *)
+  p_epoch : epoch;  (* highest epoch seen *)
+  p_base : base;
+  p_role : role;
+  p_blocked : bool;
+}
+
+let participant ~config ~self ~coordinator ~vote ~timeouts =
+  {
+    p_cfg = config;
+    p_self = self;
+    p_coordinator = coordinator;
+    p_vote = vote;
+    p_timeouts = timeouts;
+    p_up = Sset.of_list config.all;
+    p_epoch = (0, coordinator);
+    p_base = B_idle;
+    p_role = R_normal;
+    p_blocked = false;
+  }
+
+let part_decision p =
+  match p.p_base with
+  | B_logging_outcome d | B_finished d -> Some d
+  | _ -> None
+
+let part_state p =
+  match p.p_base with
+  | B_idle | B_logging_prepared | B_uncertain -> P_uncertain
+  | B_logging_precommit _ | B_precommitted -> P_precommitted
+  | B_logging_preabort _ | B_preaborted -> P_preaborted
+  | B_logging_outcome Commit | B_finished Commit -> P_committed
+  | B_logging_outcome Abort | B_finished Abort -> P_aborted
+
+let part_blocked p = p.p_blocked
+
+let part_reachable_update p ~up =
+  let up = Sset.add p.p_self (Sset.of_list up) in
+  { p with p_up = Sset.inter up (Sset.of_list p.p_cfg.all) }
+
+let log_outcome p d =
+  match p.p_base with
+  | B_logging_outcome _ | B_finished _ -> (p, [])
+  | _ ->
+      ( { p with p_base = B_logging_outcome d; p_blocked = false },
+        [ Clear_timer T_decision; Clear_timer T_resend; Clear_timer T_state;
+          Clear_timer T_precommit_ack; Log (L_decision d, `Forced) ] )
+
+(* --- leader logic -------------------------------------------------- *)
+
+let next_epoch p : epoch = (fst p.p_epoch + 1, p.p_self)
+
+let leader_blocked p =
+  ( { p with p_role = R_follower; p_blocked = true },
+    [ Set_timer (T_resend, p.p_timeouts.resend_every) ]
+    @ (if p.p_blocked then [] else [ Blocked ]) )
+
+let leader_decided p d =
+  let p, actions = log_outcome p d in
+  ({ p with p_role = R_leader (L_decided d) }, actions)
+
+(* Apply the quorum termination rules to collected reports. *)
+let leader_apply p reports =
+  let some st = List.exists (fun (_, s) -> s = st) reports in
+  let sites st =
+    List.filter_map (fun (s, s') -> if s' = st then Some s else None) reports
+    |> Sset.of_list
+  in
+  if some P_committed then leader_decided p Commit
+  else if some P_aborted then leader_decided p Abort
+  else begin
+    let n_reach = List.length reports in
+    let pc = sites P_precommitted and pa = sites P_preaborted in
+    let uncertain = sites P_uncertain in
+    if (not (Sset.is_empty pc)) && Sset.is_empty pa
+       && n_reach >= p.p_cfg.commit_quorum
+    then begin
+      (* Drive the uncertain sites to pre-commit. *)
+      let targets = Sset.remove p.p_self uncertain in
+      let sends = send_to targets (Pq_precommit p.p_epoch) in
+      let timer = [ Set_timer (T_precommit_ack, p.p_timeouts.decision_wait) ] in
+      if Sset.mem p.p_self uncertain then
+        ( { p with
+            p_base = B_logging_precommit { ack_to = None; at = p.p_epoch };
+            p_role = R_leader (L_drive_commit { pc; awaiting = targets }) },
+          sends @ timer @ [ Log (L_precommit, `Forced) ] )
+      else if Sset.cardinal pc >= p.p_cfg.commit_quorum then
+        leader_decided p Commit
+      else
+        ( { p with p_role = R_leader (L_drive_commit { pc; awaiting = targets }) },
+          sends @ timer )
+    end
+    else if Sset.is_empty pc && n_reach >= p.p_cfg.abort_quorum then begin
+      let targets = Sset.remove p.p_self uncertain in
+      let sends = send_to targets (Pq_preabort p.p_epoch) in
+      let timer = [ Set_timer (T_precommit_ack, p.p_timeouts.decision_wait) ] in
+      if Sset.mem p.p_self uncertain then
+        ( { p with
+            p_base = B_logging_preabort { ack_to = None; at = p.p_epoch };
+            p_role = R_leader (L_drive_abort { pa; awaiting = targets }) },
+          sends @ timer @ [ Log (L_preabort, `Forced) ] )
+      else if Sset.cardinal pa >= p.p_cfg.abort_quorum then
+        leader_decided p Abort
+      else
+        ( { p with p_role = R_leader (L_drive_abort { pa; awaiting = targets }) },
+          sends @ timer )
+    end
+    else leader_blocked p
+  end
+
+let become_leader p =
+  let e = next_epoch p in
+  let p = { p with p_epoch = e } in
+  let awaiting = Sset.remove p.p_self p.p_up in
+  let reports = [ (p.p_self, part_state p) ] in
+  if Sset.is_empty awaiting then leader_apply p reports
+  else
+    ( { p with p_role = R_leader (L_collect { awaiting; reports }) },
+      send_to awaiting (Pq_state_req e)
+      @ [ Set_timer (T_state, p.p_timeouts.decision_wait) ] )
+
+let start_termination p =
+  match Sset.min_elt_opt p.p_up with
+  | Some l when l = p.p_self -> become_leader p
+  | Some _ | None ->
+      (* Follow the presumptive leader, but also ask peers directly in
+         case one of them already knows the outcome. *)
+      ( { p with p_role = R_follower },
+        send_to (Sset.remove p.p_self p.p_up) Decision_req
+        @ [ Set_timer (T_resend, p.p_timeouts.resend_every) ] )
+
+let leader_check_commit p ~pc ~awaiting =
+  if Sset.cardinal pc >= p.p_cfg.commit_quorum then leader_decided p Commit
+  else if Sset.is_empty awaiting then leader_blocked p
+  else ({ p with p_role = R_leader (L_drive_commit { pc; awaiting }) }, [])
+
+let leader_check_abort p ~pa ~awaiting =
+  if Sset.cardinal pa >= p.p_cfg.abort_quorum then leader_decided p Abort
+  else if Sset.is_empty awaiting then leader_blocked p
+  else ({ p with p_role = R_leader (L_drive_abort { pa; awaiting }) }, [])
+
+(* --- main transition ------------------------------------------------ *)
+
+let part_step p input =
+  match (p.p_base, p.p_role, input) with
+  | _, _, Peer_down s ->
+      let p = { p with p_up = Sset.remove s p.p_up } in
+      (match (p.p_base, p.p_role) with
+      | (B_uncertain | B_precommitted | B_preaborted), R_normal
+        when s = p.p_coordinator ->
+          start_termination p
+      | _ -> (p, []))
+  (* Phase 1. *)
+  | B_idle, R_normal, Recv (_, Vote_req) ->
+      if p.p_vote then
+        ({ p with p_base = B_logging_prepared }, [ Log (L_prepared, `Forced) ])
+      else
+        ( { p with p_base = B_finished Abort },
+          [ Send (p.p_coordinator, Vote_no); Log (L_decision Abort, `Lazy);
+            Deliver Abort ] )
+  | B_logging_prepared, R_normal, Log_done L_prepared ->
+      ( { p with p_base = B_uncertain },
+        [ Send (p.p_coordinator, Vote_yes);
+          Set_timer (T_decision, p.p_timeouts.decision_wait) ] )
+  (* Pre-decisions (epoch-guarded). *)
+  | B_uncertain, _, Recv (src, Pq_precommit e)
+    when epoch_compare e p.p_epoch >= 0 ->
+      ( { p with p_epoch = e; p_role = R_follower;
+                 p_base = B_logging_precommit { ack_to = Some src; at = e } },
+        [ Clear_timer T_decision; Log (L_precommit, `Forced) ] )
+  | B_precommitted, _, Recv (src, Pq_precommit e)
+    when epoch_compare e p.p_epoch >= 0 ->
+      (* Already pre-committed: re-ack at the new epoch. *)
+      ({ p with p_epoch = e }, [ Send (src, Pq_precommit_ack e) ])
+  | B_uncertain, _, Recv (src, Pq_preabort e)
+    when epoch_compare e p.p_epoch >= 0 ->
+      ( { p with p_epoch = e; p_role = R_follower;
+                 p_base = B_logging_preabort { ack_to = Some src; at = e } },
+        [ Clear_timer T_decision; Log (L_preabort, `Forced) ] )
+  | B_preaborted, _, Recv (src, Pq_preabort e)
+    when epoch_compare e p.p_epoch >= 0 ->
+      ({ p with p_epoch = e }, [ Send (src, Pq_preabort_ack e) ])
+  | B_logging_precommit { ack_to; at }, _, Log_done L_precommit -> (
+      let p = { p with p_base = B_precommitted } in
+      match (ack_to, p.p_role) with
+      | Some src, _ ->
+          ( p,
+            [ Send (src, Pq_precommit_ack at);
+              Set_timer (T_decision, p.p_timeouts.decision_wait) ] )
+      | None, R_leader (L_drive_commit { pc; awaiting }) ->
+          leader_check_commit p ~pc:(Sset.add p.p_self pc) ~awaiting
+      | None, _ -> (p, []))
+  | B_logging_preabort { ack_to; at }, _, Log_done L_preabort -> (
+      let p = { p with p_base = B_preaborted } in
+      match (ack_to, p.p_role) with
+      | Some src, _ ->
+          ( p,
+            [ Send (src, Pq_preabort_ack at);
+              Set_timer (T_decision, p.p_timeouts.decision_wait) ] )
+      | None, R_leader (L_drive_abort { pa; awaiting }) ->
+          leader_check_abort p ~pa:(Sset.add p.p_self pa) ~awaiting
+      | None, _ -> (p, []))
+  (* Final decisions are accepted from anyone, any epoch — including
+     while a pre-state log write is still in flight (its stale Log_done
+     is ignored later). *)
+  | ( ( B_uncertain | B_precommitted | B_preaborted | B_logging_prepared
+      | B_logging_precommit _ | B_logging_preabort _ ),
+      _,
+      Recv (_, Decision_msg d) ) ->
+      log_outcome p d
+  | B_logging_outcome d, _, Log_done (L_decision d') when decision_equal d d'
+    ->
+      let finish = { p with p_base = B_finished d } in
+      let ack =
+        if decision_equal d Abort then [ Send (p.p_coordinator, Decision_ack) ]
+        else []
+      in
+      let broadcast =
+        match p.p_role with
+        | R_leader _ ->
+            send_to (Sset.remove p.p_self p.p_up) (Decision_msg d)
+        | _ -> []
+      in
+      ({ finish with p_role = R_normal }, ack @ broadcast @ [ Deliver d ])
+  (* Timeouts drive termination, whether we were following the original
+     coordinator or an elected leader that went quiet. *)
+  | ( (B_uncertain | B_precommitted | B_preaborted),
+      (R_normal | R_follower),
+      Timeout (T_decision | T_resend) ) ->
+      start_termination p
+  | _, R_leader (L_collect { awaiting = _; reports }), Timeout T_state ->
+      if reports = [] then leader_blocked p else leader_apply p reports
+  | _, R_leader (L_drive_commit { pc; awaiting = _ }), Timeout T_precommit_ack
+    ->
+      leader_check_commit p ~pc ~awaiting:Sset.empty
+  | _, R_leader (L_drive_abort { pa; awaiting = _ }), Timeout T_precommit_ack
+    ->
+      leader_check_abort p ~pa ~awaiting:Sset.empty
+  (* Leader: collection and acks. *)
+  | _, R_leader (L_collect { awaiting; reports }),
+    Recv (src, Pq_state_report (e, st))
+    when epoch_compare e p.p_epoch = 0 && Sset.mem src awaiting ->
+      let awaiting = Sset.remove src awaiting in
+      let reports = (src, st) :: reports in
+      if Sset.is_empty awaiting then leader_apply p reports
+      else ({ p with p_role = R_leader (L_collect { awaiting; reports }) }, [])
+  | _, R_leader (L_drive_commit { pc; awaiting }),
+    Recv (src, Pq_precommit_ack e)
+    when epoch_compare e p.p_epoch = 0 ->
+      leader_check_commit p ~pc:(Sset.add src pc)
+        ~awaiting:(Sset.remove src awaiting)
+  | _, R_leader (L_drive_abort { pa; awaiting }), Recv (src, Pq_preabort_ack e)
+    when epoch_compare e p.p_epoch = 0 ->
+      leader_check_abort p ~pa:(Sset.add src pa)
+        ~awaiting:(Sset.remove src awaiting)
+  (* Everyone answers state requests at current-or-higher epochs; doing so
+     dethrones any stale local leadership. *)
+  | _, _, Recv (src, Pq_state_req e) when epoch_compare e p.p_epoch >= 0 ->
+      let role =
+        match p.p_role with
+        | R_leader _ when src <> p.p_self -> R_follower
+        | r -> r
+      in
+      ( { p with p_epoch = e; p_role = role },
+        [ Send (src, Pq_state_report (e, part_state p)) ]
+        @
+        match role with
+        | R_follower -> [ Set_timer (T_resend, p.p_timeouts.resend_every) ]
+        | _ -> [] )
+  | B_finished d, _, Recv (src, Decision_req) ->
+      (p, [ Send (src, Decision_msg d) ])
+  | _, _, Recv (src, Decision_req) -> (p, [ Send (src, Decision_unknown) ])
+  | B_finished _, _, Recv (_, Decision_msg _) -> (p, [])
+  | _, _, Peers_reachable up -> (part_reachable_update p ~up, [])
+  | _, _, (Recv _ | Timeout _ | Log_done _ | Start) -> (p, [])
+
+let participant_recovered ~config ~self ~coordinator ~state ~timeouts =
+  let base =
+    match state with
+    | P_uncertain -> B_uncertain
+    | P_precommitted -> B_precommitted
+    | P_preaborted -> B_preaborted
+    | P_committed -> B_finished Commit
+    | P_aborted -> B_finished Abort
+  in
+  let p = participant ~config ~self ~coordinator ~vote:true ~timeouts in
+  { p with p_base = base }
+
+(* Recovered participants begin termination on [Start]. *)
+let part_step p input =
+  match (input, p.p_base, p.p_role) with
+  | Start, (B_uncertain | B_precommitted | B_preaborted), R_normal ->
+      start_termination p
+  | _ -> part_step p input

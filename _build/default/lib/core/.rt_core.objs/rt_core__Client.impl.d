@@ -1,0 +1,1 @@
+lib/core/client.ml: Cluster Engine Ids List Rng Rt_net Rt_sim Rt_types Rt_workload Site Time

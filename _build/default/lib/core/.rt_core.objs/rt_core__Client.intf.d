@@ -1,0 +1,1 @@
+lib/core/client.mli: Cluster Ids Rng Rt_sim Rt_types Rt_workload Time

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Config Engine List Msg Rt_metrics Rt_net Rt_sim Rt_storage Rt_workload Site

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Engine Ids Rt_metrics Rt_net Rt_sim Rt_types Rt_workload Site Time

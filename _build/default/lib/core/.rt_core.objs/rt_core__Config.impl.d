@@ -1,0 +1,1 @@
+lib/core/config.ml: Option Rt_commit Rt_net Rt_quorum Rt_replica Rt_sim Time

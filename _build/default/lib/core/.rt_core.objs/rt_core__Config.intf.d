@@ -1,0 +1,1 @@
+lib/core/config.mli: Rt_commit Rt_net Rt_replica Rt_sim Time

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Client Cluster Config Engine Failure Format List Printf Rt_cc Rt_commit Rt_metrics Rt_net Rt_quorum Rt_replica Rt_sim Rt_storage Rt_types Rt_workload Site String Time

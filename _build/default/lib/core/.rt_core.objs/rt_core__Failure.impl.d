@@ -1,0 +1,1 @@
+lib/core/failure.ml: Cluster Engine Ids List Rng Rt_sim Rt_types

@@ -1,0 +1,1 @@
+lib/core/failure.mli: Cluster Ids Rt_sim Rt_types Time

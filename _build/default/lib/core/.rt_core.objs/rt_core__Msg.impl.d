@@ -1,0 +1,1 @@
+lib/core/msg.ml: Format Ids List Printf Result Rt_commit Rt_types

@@ -1,0 +1,1 @@
+lib/core/msg.mli: Format Ids Result Rt_commit Rt_types

@@ -1,0 +1,1 @@
+lib/core/site.ml: Config Engine Format Hashtbl Ids Int List Msg Option Result Rt_commit Rt_lock Rt_member Rt_metrics Rt_replica Rt_sim Rt_storage Rt_types Rt_workload Set String Time

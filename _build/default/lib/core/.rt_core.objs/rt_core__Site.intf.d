@@ -1,0 +1,1 @@
+lib/core/site.mli: Config Engine Ids Msg Result Rt_metrics Rt_sim Rt_storage Rt_types Rt_workload

@@ -1,0 +1,112 @@
+open Rt_sim
+open Rt_types
+
+type stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable retries : int;
+}
+
+type t = {
+  cluster : Cluster.t;
+  site : Ids.site_id;
+  gen : Rt_workload.Mix.gen;
+  think : Time.t;
+  retry_aborts : bool;
+  ordered_keys : bool;
+  rng : Rng.t;
+  stats : stats;
+  mutable running : bool;
+}
+
+let create ~cluster ~site ~mix ?(think = Time.zero) ?(retry_aborts = true)
+    ?(ordered_keys = true) ?rng () =
+  let rng =
+    match rng with
+    | Some r -> r
+    | None -> Rng.split (Engine.rng (Cluster.engine cluster))
+  in
+  {
+    cluster;
+    site;
+    gen = Rt_workload.Mix.generator mix (Rng.split rng);
+    think;
+    retry_aborts;
+    ordered_keys;
+    rng;
+    stats = { committed = 0; aborted = 0; retries = 0 };
+    running = false;
+  }
+
+let stats t = t.stats
+let stop t = t.running <- false
+
+let backoff t =
+  (* Randomized 0.5–1.5× of a couple round trips. *)
+  let base = Rt_net.Latency.mean (Cluster.config t.cluster).link.latency * 4 in
+  Rng.uniform_time t.rng ~lo:(base / 2) ~hi:(base * 3 / 2)
+
+let rec run_txn t ops =
+  if t.running then
+    Cluster.submit t.cluster ~site:t.site ~ops ~k:(fun outcome ->
+        let engine = Cluster.engine t.cluster in
+        match outcome with
+        | Site.Committed ->
+            t.stats.committed <- t.stats.committed + 1;
+            ignore
+              (Engine.schedule_after engine t.think (fun () -> next_txn t))
+        | Site.Aborted _ ->
+            t.stats.aborted <- t.stats.aborted + 1;
+            if t.retry_aborts then begin
+              t.stats.retries <- t.stats.retries + 1;
+              ignore
+                (Engine.schedule_after engine (backoff t) (fun () ->
+                     run_txn t ops))
+            end
+            else
+              (* Aborts can complete synchronously (e.g. no quorum under a
+                 partition), so always put simulated time between
+                 attempts or a zero think time spins the clock. *)
+              ignore
+                (Engine.schedule_after engine
+                   (Time.max t.think (backoff t))
+                   (fun () -> next_txn t)))
+
+and next_txn t =
+  if t.running then begin
+    let ops =
+      if t.ordered_keys then Rt_workload.Mix.next_txn t.gen
+      else Rt_workload.Mix.next_txn_unordered t.gen
+    in
+    run_txn t ops
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    (* Desynchronise client start instants. *)
+    let jitter = Rng.uniform_time t.rng ~lo:0 ~hi:(Time.us 100) in
+    ignore
+      (Engine.schedule_after (Cluster.engine t.cluster) jitter (fun () ->
+           next_txn t))
+  end
+
+let start_fleet ~cluster ~clients ~mix ?think ?retry_aborts ?ordered_keys () =
+  let sites = (Cluster.config cluster).sites in
+  List.init clients (fun i ->
+      let c =
+        create ~cluster ~site:(i mod sites) ~mix ?think ?retry_aborts
+          ?ordered_keys ()
+      in
+      start c;
+      c)
+
+let total clients =
+  let acc = { committed = 0; aborted = 0; retries = 0 } in
+  List.iter
+    (fun c ->
+      acc.committed <- acc.committed + c.stats.committed;
+      acc.aborted <- acc.aborted + c.stats.aborted;
+      acc.retries <- acc.retries + c.stats.retries)
+    clients;
+  acc

@@ -1,0 +1,61 @@
+(** A cluster: N sites wired over the simulated network, plus the control
+    surface experiments drive — transaction submission, failure and
+    partition injection, and aggregate metrics. *)
+
+open Rt_sim
+open Rt_types
+
+type t
+
+val create : ?engine:Engine.t -> Config.t -> t
+(** Builds the network and sites and starts heartbeats.  Supplying an
+    [engine] lets several clusters share one virtual clock. *)
+
+val engine : t -> Engine.t
+
+val config : t -> Config.t
+
+val site : t -> Ids.site_id -> Site.t
+
+val sites : t -> Site.t array
+
+val counters : t -> Rt_metrics.Counter.t
+
+val net_stats : t -> Rt_net.Net.Stats.t
+
+val submit :
+  t ->
+  site:Ids.site_id ->
+  ops:Rt_workload.Mix.op list ->
+  k:(Site.outcome -> unit) ->
+  unit
+
+val run : ?until:Time.t -> t -> unit
+(** Drive the simulation.  Heartbeats re-arm themselves forever, so
+    always pass [until]; an unbounded run only returns once the event
+    queue drains, which never happens while any site is up. *)
+
+val now : t -> Time.t
+
+val crash_site : t -> Ids.site_id -> unit
+
+val recover_site : t -> Ids.site_id -> unit
+
+val partition : t -> Ids.site_id list list -> unit
+(** Install a network partition (groups as in {!Rt_net.Partition.split}). *)
+
+val heal : t -> unit
+
+val populate : t -> Rt_workload.Mix.t -> unit
+(** Install the mix's initial keys directly into every site's store and
+    checkpoint, bypassing the transaction machinery (simulated initial
+    state). *)
+
+val latencies : t -> Rt_metrics.Sample.t
+(** Merged commit-latency samples (seconds) across every site. *)
+
+val converged : t -> bool
+(** All up sites hold byte-identical stores — the replica-consistency
+    check used by integration tests.  Quorum configurations legitimately
+    diverge on stale copies, so this is meaningful for ROWA-style
+    protocols (and for quorum after a write-all round). *)

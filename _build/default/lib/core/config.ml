@@ -1,0 +1,84 @@
+open Rt_sim
+
+type commit_protocol =
+  | Two_phase of Rt_commit.Two_pc.variant
+  | Three_phase
+  | Quorum_commit of { commit_quorum : int option; abort_quorum : int option }
+
+let commit_protocol_name = function
+  | Two_phase v -> Rt_commit.Two_pc.variant_name v
+  | Three_phase -> "3PC"
+  | Quorum_commit _ -> "QC"
+
+type concurrency = Locking | Timestamp
+
+let concurrency_name = function
+  | Locking -> "2PL"
+  | Timestamp -> "TO"
+
+type t = {
+  sites : int;
+  concurrency : concurrency;
+  commit_protocol : commit_protocol;
+  replica_control : Rt_replica.Replica_control.t;
+  link : Rt_net.Net.link;
+  force_latency : Time.t;
+  lock_wait_timeout : Time.t;
+  op_timeout : Time.t;
+  commit_timeouts : Rt_commit.Protocol.timeouts;
+  heartbeat_interval : Time.t;
+  heartbeat_miss : int;
+  recovery_per_record : Time.t;
+  checkpoint_every : int;
+  probe_deadlocks : bool;
+  read_only_optimization : bool;
+  seed : int;
+}
+
+let default ?(sites = 3) () =
+  {
+    sites;
+    concurrency = Locking;
+    commit_protocol = Two_phase Rt_commit.Two_pc.Presumed_abort;
+    replica_control = Rt_replica.Replica_control.rowa;
+    link =
+      Rt_net.Net.reliable_link
+        (Rt_net.Latency.Exponential { min = Time.us 20; mean = Time.us 100 });
+    force_latency = Time.us 50;
+    lock_wait_timeout = Time.ms 20;
+    op_timeout = Time.ms 40;
+    commit_timeouts =
+      {
+        vote_collect = Time.ms 50;
+        decision_wait = Time.ms 50;
+        resend_every = Time.ms 100;
+      };
+    heartbeat_interval = Time.ms 10;
+    heartbeat_miss = 3;
+    recovery_per_record = Time.us 5;
+    checkpoint_every = 0;
+    probe_deadlocks = false;
+    read_only_optimization = false;
+    seed = 0;
+  }
+
+let validate t =
+  if t.sites <= 0 then invalid_arg "Config: sites must be positive";
+  (match t.replica_control with
+  | Rt_replica.Replica_control.Primary_copy p ->
+      if p < 0 || p >= t.sites then
+        invalid_arg "Config: primary site out of range"
+  | Rt_replica.Replica_control.Quorum v ->
+      if Rt_quorum.Votes.sites v <> t.sites then
+        invalid_arg "Config: quorum vote assignment does not match site count"
+  | Rt_replica.Replica_control.Rowa
+  | Rt_replica.Replica_control.Available_copies ->
+      ());
+  match t.commit_protocol with
+  | Quorum_commit { commit_quorum; abort_quorum } ->
+      let majority = (t.sites / 2) + 1 in
+      let vc = Option.value commit_quorum ~default:majority in
+      let va = Option.value abort_quorum ~default:majority in
+      if vc + va <= t.sites then
+        invalid_arg "Config: commit/abort quorums must overlap"
+  | Two_phase _ | Three_phase -> ()

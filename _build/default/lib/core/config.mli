@@ -1,0 +1,55 @@
+(** Cluster configuration: which protocols run and what everything costs. *)
+
+open Rt_sim
+
+type commit_protocol =
+  | Two_phase of Rt_commit.Two_pc.variant
+  | Three_phase
+  | Quorum_commit of { commit_quorum : int option; abort_quorum : int option }
+      (** [None] thresholds default to majority. *)
+
+val commit_protocol_name : commit_protocol -> string
+
+type concurrency = Locking | Timestamp
+(** Distributed concurrency control at the replicas: strict two-phase
+    locking (waits, deadlock handling), or basic timestamp ordering with
+    the Thomas write rule (never waits, restarts on conflict). *)
+
+val concurrency_name : concurrency -> string
+
+type t = {
+  sites : int;
+  concurrency : concurrency;
+  commit_protocol : commit_protocol;
+  replica_control : Rt_replica.Replica_control.t;
+  link : Rt_net.Net.link;  (** Default link between every pair of sites. *)
+  force_latency : Time.t;  (** Stable-storage force cost. *)
+  lock_wait_timeout : Time.t;
+      (** A lock request waiting longer than this is refused (distributed
+          deadlocks resolve by timeout; local ones by cycle detection). *)
+  op_timeout : Time.t;
+      (** Coordinator gives up on a read/write round after this long. *)
+  commit_timeouts : Rt_commit.Protocol.timeouts;
+  heartbeat_interval : Time.t;
+  heartbeat_miss : int;
+  recovery_per_record : Time.t;  (** Restart replay cost per log record. *)
+  checkpoint_every : int;
+      (** Take a checkpoint every n committed transactions (0 = never). *)
+  probe_deadlocks : bool;
+      (** Detect distributed deadlocks with Chandy–Misra–Haas edge-chasing
+          probes instead of waiting out the lock timeout (which remains as
+          a backstop).  Default off. *)
+  read_only_optimization : bool;
+      (** 2PC only: participants that performed no writes vote read-only,
+          release immediately, and skip phase 2 (default off so the
+          baseline experiments measure the unoptimized protocol). *)
+  seed : int;
+}
+
+val default : ?sites:int -> unit -> t
+(** Three sites, 2PC presumed-abort, ROWA, exponential 100µs links,
+    50µs log force. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent settings (e.g. a primary
+    site out of range, quorum thresholds vs. site count). *)

@@ -1,0 +1,82 @@
+(** The reconstructed evaluation: one function per table/figure.
+
+    Each experiment returns a rendered {!Rt_metrics.Table.t} plus enough
+    context for EXPERIMENTS.md.  Everything is deterministic given the
+    built-in seeds; runs take simulated time, not wall-clock time.  See
+    DESIGN.md for the experiment index and EXPERIMENTS.md for expected
+    shapes. *)
+
+type spec = {
+  id : string;  (** "T1" ... "F8" *)
+  title : string;
+  table : unit -> Rt_metrics.Table.t;
+}
+
+val t1 : spec
+(** Messages and forced log writes per transaction: analytic vs measured,
+    per protocol and replication degree. *)
+
+val t2 : spec
+(** Commit latency by protocol and replication degree. *)
+
+val t3 : spec
+(** Closed-form read/write/update availability per replica-control
+    scheme. *)
+
+val t4 : spec
+(** Throughput by replica-control protocol and read fraction. *)
+
+val t5 : spec
+(** Recovery time vs durable log length. *)
+
+val t6 : spec
+(** Local concurrency control (2PL/TO/OCC) under varying contention. *)
+
+val f1 : spec
+(** Latency percentiles vs multiprogramming level. *)
+
+val f2 : spec
+(** Throughput vs number of sites, ROWA vs majority quorum. *)
+
+val f3 : spec
+(** Abort rate vs access skew per CC scheme. *)
+
+val f4 : spec
+(** Transaction availability vs site failure rate, per replica-control
+    scheme, with the analytic prediction alongside. *)
+
+val f5 : spec
+(** Blocking after coordinator crash: 2PC vs 3PC vs quorum commit. *)
+
+val f6 : spec
+(** Read-quorum size vs read fraction: the weighted-voting cost
+    crossover. *)
+
+val f7 : spec
+(** Deadlock and lock-timeout rates vs multiprogramming level. *)
+
+val f8 : spec
+(** Partition timeline: who commits on each side, and consistency after
+    healing. *)
+
+val a1 : spec
+(** Ablation: group commit — commits amortized per log force. *)
+
+val a2 : spec
+(** Ablation: the 2PC read-only optimization's message/force savings. *)
+
+val a3 : spec
+(** Ablation: deadlock detection vs wound-wait vs wait-die. *)
+
+val a4 : spec
+(** Ablation: distributed deadlock resolution — timeout vs CMH probes. *)
+
+val a5 : spec
+(** Ablation: distributed concurrency control — 2PL vs timestamp
+    ordering. *)
+
+val all : spec list
+(** In presentation order T1..T6, F1..F8, A1..A5. *)
+
+val find : string -> spec option
+(** Case-insensitive lookup by id. *)

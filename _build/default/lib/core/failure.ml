@@ -1,0 +1,52 @@
+open Rt_sim
+open Rt_types
+
+type event =
+  | Crash of Ids.site_id
+  | Recover of Ids.site_id
+  | Partition of Ids.site_id list list
+  | Heal
+
+let apply cluster = function
+  | Crash s -> Cluster.crash_site cluster s
+  | Recover s -> Cluster.recover_site cluster s
+  | Partition groups -> Cluster.partition cluster groups
+  | Heal -> Cluster.heal cluster
+
+let schedule cluster events =
+  let engine = Cluster.engine cluster in
+  List.iter
+    (fun (at, event) ->
+      ignore (Engine.schedule_at engine at (fun () -> apply cluster event)))
+    events
+
+type process = { mutable running : bool }
+
+let random_crashes cluster ~mttf ~mttr ?(protect = []) () =
+  let engine = Cluster.engine cluster in
+  let rng = Rng.split (Engine.rng engine) in
+  let p = { running = true } in
+  let sites = (Cluster.config cluster).sites in
+  let rec cycle site =
+    if p.running then begin
+      let up_for = Rng.exponential_time rng ~mean:mttf in
+      ignore
+        (Engine.schedule_after engine up_for (fun () ->
+             if p.running then begin
+               Cluster.crash_site cluster site;
+               let down_for = Rng.exponential_time rng ~mean:mttr in
+               ignore
+                 (Engine.schedule_after engine down_for (fun () ->
+                      if p.running then begin
+                        Cluster.recover_site cluster site;
+                        cycle site
+                      end))
+             end))
+    end
+  in
+  for site = 0 to sites - 1 do
+    if not (List.mem site protect) then cycle site
+  done;
+  p
+
+let stop p = p.running <- false

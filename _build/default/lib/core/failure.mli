@@ -1,0 +1,30 @@
+(** Failure injection: scripted schedules and random crash/recover
+    processes, driven by the cluster's virtual clock. *)
+
+open Rt_sim
+open Rt_types
+
+type event =
+  | Crash of Ids.site_id
+  | Recover of Ids.site_id
+  | Partition of Ids.site_id list list
+  | Heal
+
+val schedule : Cluster.t -> (Time.t * event) list -> unit
+(** Install a fixed schedule of failure events (absolute virtual times). *)
+
+type process
+
+val random_crashes :
+  Cluster.t ->
+  mttf:Time.t ->
+  mttr:Time.t ->
+  ?protect:Ids.site_id list ->
+  unit ->
+  process
+(** Each unprotected site independently alternates up/down with
+    exponentially distributed times to failure ([mttf]) and repair
+    ([mttr]).  Deterministic given the engine's seed.  Runs until
+    {!stop}. *)
+
+val stop : process -> unit

@@ -1,0 +1,69 @@
+open Rt_types
+
+type refusal = R_lock_timeout | R_deadlock | R_order | R_doomed | R_down
+
+let pp_refusal fmt = function
+  | R_lock_timeout -> Format.pp_print_string fmt "lock-timeout"
+  | R_deadlock -> Format.pp_print_string fmt "deadlock"
+  | R_order -> Format.pp_print_string fmt "order-conflict"
+  | R_doomed -> Format.pp_print_string fmt "doomed"
+  | R_down -> Format.pp_print_string fmt "down"
+
+type payload =
+  | Read_req of { key : string }
+  | Read_reply of {
+      key : string;
+      result : (string option * int, refusal) Result.t;
+    }
+  | Write_req of { key : string; value : string }
+  | Write_reply of { key : string; result : (int, refusal) Result.t }
+  | Abort_txn
+  | Commit_msg of {
+      pmsg : Rt_commit.Protocol.msg;
+      prepare : prepare_info option;
+    }
+  | Probe of { initiator : Ids.Txn_id.t }
+  | Heartbeat
+  | Catchup_req of { keys : (string * int) list }
+  | Catchup_reply of { entries : (string * string * int) list; complete : bool }
+
+and prepare_info = {
+  writes : (string * string * int) list;
+  participants : Ids.site_id list;
+  presumed_down : Ids.site_id list;
+}
+
+type t = { txn : Ids.Txn_id.t option; payload : payload }
+
+let txn_msg txn payload = { txn = Some txn; payload }
+let site_msg payload = { txn = None; payload }
+
+let pp_payload fmt = function
+  | Read_req { key } -> Format.fprintf fmt "read(%s)" key
+  | Read_reply { key; result = Ok (_, v) } ->
+      Format.fprintf fmt "read-reply(%s,v%d)" key v
+  | Read_reply { key; result = Error r } ->
+      Format.fprintf fmt "read-refused(%s,%a)" key pp_refusal r
+  | Write_req { key; _ } -> Format.fprintf fmt "write(%s)" key
+  | Write_reply { key; result = Ok v } ->
+      Format.fprintf fmt "write-reply(%s,v%d)" key v
+  | Write_reply { key; result = Error r } ->
+      Format.fprintf fmt "write-refused(%s,%a)" key pp_refusal r
+  | Abort_txn -> Format.pp_print_string fmt "abort-txn"
+  | Commit_msg { pmsg; prepare } ->
+      Format.fprintf fmt "commit[%a%s]" Rt_commit.Protocol.pp_msg pmsg
+        (match prepare with
+        | Some p -> Printf.sprintf ",%d writes" (List.length p.writes)
+        | None -> "")
+  | Probe { initiator } ->
+      Format.fprintf fmt "probe(init=%a)" Ids.Txn_id.pp initiator
+  | Heartbeat -> Format.pp_print_string fmt "hb"
+  | Catchup_req { keys } -> Format.fprintf fmt "catchup-req(%d)" (List.length keys)
+  | Catchup_reply { entries; complete } ->
+      Format.fprintf fmt "catchup-reply(%d%s)" (List.length entries)
+        (if complete then "" else ",partial")
+
+let pp fmt t =
+  match t.txn with
+  | Some txn -> Format.fprintf fmt "%a:%a" Ids.Txn_id.pp txn pp_payload t.payload
+  | None -> pp_payload fmt t.payload

@@ -1,0 +1,1507 @@
+open Rt_sim
+open Rt_types
+module P = Rt_commit.Protocol
+module Erased = Rt_commit.Erased
+module Two_pc = Rt_commit.Two_pc
+module Three_pc = Rt_commit.Three_pc
+module Quorum_commit = Rt_commit.Quorum_commit
+module RC = Rt_replica.Replica_control
+module Lock = Rt_lock.Lock_table
+module Kv = Rt_storage.Kv
+module Wal = Rt_storage.Wal
+module LR = Rt_storage.Log_record
+module Checkpoint = Rt_storage.Checkpoint
+module Recovery = Rt_storage.Recovery
+module Heartbeat = Rt_member.Heartbeat
+module Counter = Rt_metrics.Counter
+module Sample = Rt_metrics.Sample
+module Tid = Ids.Txn_id
+module Sset = Set.Make (Int)
+
+type abort_reason =
+  | Unavailable
+  | Lock_conflict
+  | Deadlock
+  | Order_conflict
+  | Op_timeout
+  | Protocol_abort
+  | Site_down
+
+let abort_reason_label = function
+  | Unavailable -> "unavailable"
+  | Lock_conflict -> "lock_conflict"
+  | Deadlock -> "deadlock"
+  | Order_conflict -> "order_conflict"
+  | Op_timeout -> "op_timeout"
+  | Protocol_abort -> "protocol_abort"
+  | Site_down -> "site_down"
+
+type outcome = Committed | Aborted of abort_reason
+
+(* An outstanding lock wait at a participant: fires exactly one of the
+   grant path or the refusal path. *)
+type wait = {
+  mutable w_done : bool;
+  w_refuse : Msg.refusal -> unit;
+  mutable w_timer : Engine.event_id option;
+}
+
+type part_ctx = {
+  pt_txn : Tid.t;
+  mutable pt_writes : (string * string * int) list;
+  mutable pt_participants : Ids.site_id list;
+  mutable pt_machine : Erased.t option;
+  mutable pt_doomed : Msg.refusal option;
+  mutable pt_resolved : bool;
+  pt_timers : (P.timer, Engine.event_id) Hashtbl.t;
+  mutable pt_waits : wait list;
+  mutable pt_to_keys : string list;  (* keys carrying our TO pending mark *)
+}
+
+type op_wait =
+  | W_read of {
+      rw_key : string;
+      mutable rw_pending : Sset.t;
+      mutable rw_version : int;
+      mutable rw_value : string option;
+      rw_timer : Engine.event_id;
+      rw_k : (string option, abort_reason) Result.t -> unit;
+    }
+  | W_write of {
+      ww_key : string;
+      ww_value : string;
+      ww_plan : Ids.site_id list;
+      mutable ww_pending : Sset.t;
+      mutable ww_maxv : int;
+      ww_timer : Engine.event_id;
+      ww_k : (unit, abort_reason) Result.t -> unit;
+    }
+
+type to_entry = {
+  mutable rts : Tid.t option;
+  mutable wts : Tid.t option;
+  mutable to_pending : Tid.t list;
+}
+
+type coord_ctx = {
+  co_txn : Tid.t;
+  co_started : Time.t;
+  mutable co_ops : Rt_workload.Mix.op list;
+  mutable co_touched : Sset.t;
+  co_site_writes : (Ids.site_id, (string * string * int) list ref) Hashtbl.t;
+  co_cache : (string, string) Hashtbl.t;
+  mutable co_machine : Erased.t option;
+  co_timers : (P.timer, Engine.event_id) Hashtbl.t;
+  mutable co_wait : op_wait option;
+  mutable co_finished : bool;
+  mutable co_outcome : outcome option;
+  mutable co_k : outcome -> unit;
+  co_probes_seen : unit Ids.Txn_map.t;
+      (* Initiators whose probes we already forwarded (CMH dedup). *)
+}
+
+type t = {
+  engine : Engine.t;
+  id : Ids.site_id;
+  config : Config.t;
+  send_raw : dst:Ids.site_id -> Msg.t -> unit;
+  counters : Counter.t;
+  kv : Kv.t;
+  wal : LR.t Wal.t;
+  cp : Checkpoint.t;
+  mutable locks : Lock.t;
+  mutable hb : Heartbeat.t option;
+  mutable up : bool;
+  mutable catching : bool;
+  mutable incarnation : int;
+  (* Timestamp-ordering state (used when config.concurrency = Timestamp):
+     per-key committed read/write stamps plus pending uncommitted
+     writers. *)
+  to_table : (string, to_entry) Hashtbl.t;
+  parts : part_ctx Ids.Txn_map.t;
+  coords : coord_ctx Ids.Txn_map.t;
+  presumed : P.decision Ids.Txn_map.t;
+  first_lsn : Wal.lsn Ids.Txn_map.t;
+  mutable txn_seq : int;
+  mutable commits_since_cp : int;
+  lat : Sample.t;
+}
+
+let id t = t.id
+let is_up t = t.up
+let serving t = t.up && not t.catching
+let kv t = t.kv
+let wal_forces t = Wal.force_count t.wal
+let log_length t = Wal.length t.wal
+let latencies t = t.lat
+
+let active_participants t =
+  Ids.Txn_map.fold
+    (fun _ ctx acc -> if ctx.pt_resolved then acc else acc + 1)
+    t.parts 0
+
+let participant_debug t =
+  Ids.Txn_map.fold
+    (fun txn ctx acc ->
+      if ctx.pt_resolved then acc
+      else
+        Format.asprintf "%a: machine=%s doomed=%s state=%s blocked=%b"
+          Tid.pp txn
+          (if ctx.pt_machine = None then "none" else "yes")
+          (match ctx.pt_doomed with
+          | None -> "no"
+          | Some r -> Format.asprintf "%a" Msg.pp_refusal r)
+          (match ctx.pt_machine with
+          | Some m -> Format.asprintf "%a" P.pp_participant_state m.Erased.pstate
+          | None -> "-")
+          (match ctx.pt_machine with
+          | Some m -> m.Erased.blocked
+          | None -> false)
+        :: acc)
+    t.parts []
+
+let blocked_participants t =
+  Ids.Txn_map.fold
+    (fun _ ctx acc ->
+      match ctx.pt_machine with
+      | Some m when m.Erased.blocked && not ctx.pt_resolved -> acc + 1
+      | _ -> acc)
+    t.parts 0
+
+let create ~engine ~id ~config ~send ~counters =
+  Config.validate config;
+  {
+    engine;
+    id;
+    config;
+    send_raw = send;
+    counters;
+    kv = Kv.create ();
+    wal = Wal.create engine ~force_latency:config.force_latency ();
+    cp = Checkpoint.create ();
+    locks = Lock.create ();
+    to_table = Hashtbl.create 256;
+    hb = None;
+    up = true;
+    catching = false;
+    incarnation = 0;
+    parts = Ids.Txn_map.create 64;
+    coords = Ids.Txn_map.create 64;
+    presumed = Ids.Txn_map.create 64;
+    first_lsn = Ids.Txn_map.create 64;
+    txn_seq = 0;
+    commits_since_cp = 0;
+    lat = Sample.create ();
+  }
+
+let all_site_ids t = List.init t.config.sites (fun i -> i)
+
+let up_pred t s =
+  if s = t.id then t.up
+  else match t.hb with Some hb -> Heartbeat.is_up hb s | None -> true
+
+let up_view t =
+  if not t.up then []
+  else
+    t.id :: (match t.hb with
+             | Some hb -> Heartbeat.up_peers hb
+             | None -> List.filter (fun s -> s <> t.id) (all_site_ids t))
+    |> List.sort_uniq Int.compare
+
+(* Run [f] only if the site is still in the same incarnation (and up):
+   the guard for every asynchronous continuation a site schedules. *)
+let guarded t f =
+  let inc = t.incarnation in
+  fun () -> if t.up && t.incarnation = inc then f ()
+
+(* Forward reference: [receive] is defined at the bottom but needed for
+   local loop-back delivery. *)
+let receive_ref : (t -> src:Ids.site_id -> Msg.t -> unit) ref =
+  ref (fun _ ~src:_ _ -> assert false)
+
+let local_send t ~dst msg =
+  if dst = t.id then begin
+    (* Local loop-back: deliver through a zero-delay event so handling
+       never re-enters the current call stack. *)
+    let deliver = guarded t (fun () -> !receive_ref t ~src:t.id msg) in
+    ignore (Engine.schedule_after t.engine Time.zero deliver)
+  end
+  else t.send_raw ~dst msg
+
+(* ------------------------------------------------------------------ *)
+(* Commitment machine construction                                     *)
+(* ------------------------------------------------------------------ *)
+
+let qc_quorums t ~n_participants =
+  let majority = (n_participants / 2) + 1 in
+  match t.config.commit_protocol with
+  | Config.Quorum_commit { commit_quorum; abort_quorum } ->
+      let clamp q = max 1 (min n_participants q) in
+      let vc = clamp (Option.value commit_quorum ~default:majority) in
+      let va = clamp (Option.value abort_quorum ~default:majority) in
+      if vc + va > n_participants then (vc, va) else (majority, majority)
+  | _ -> (majority, majority)
+
+let make_coord_machine t ~participants =
+  let timeouts = t.config.commit_timeouts in
+  match t.config.commit_protocol with
+  | Config.Two_phase variant ->
+      Erased.of_2pc_coord (Two_pc.coordinator ~variant ~participants ~timeouts)
+  | Config.Three_phase ->
+      Erased.of_3pc_coord (Three_pc.coordinator ~participants ~timeouts)
+  | Config.Quorum_commit _ ->
+      let vc, va = qc_quorums t ~n_participants:(List.length participants) in
+      let config =
+        Quorum_commit.config ~all:participants ~commit_quorum:vc
+          ~abort_quorum:va ()
+      in
+      Erased.of_qc_coord (Quorum_commit.coordinator ~config ~self:t.id ~timeouts)
+
+let make_part_machine t ~txn ~participants ~vote ~read_only =
+  let timeouts = t.config.commit_timeouts in
+  let coordinator = txn.Tid.origin in
+  match t.config.commit_protocol with
+  | Config.Two_phase variant ->
+      let read_only = read_only && t.config.read_only_optimization in
+      Erased.of_2pc_part
+        (Two_pc.participant ~read_only ~variant ~self:t.id ~coordinator
+           ~peers:participants ~vote ~timeouts ())
+  | Config.Three_phase ->
+      Erased.of_3pc_part
+        (Three_pc.participant ~self:t.id ~coordinator ~all:participants ~vote
+           ~timeouts)
+  | Config.Quorum_commit _ ->
+      let vc, va = qc_quorums t ~n_participants:(List.length participants) in
+      let config =
+        Quorum_commit.config ~all:participants ~commit_quorum:vc
+          ~abort_quorum:va ()
+      in
+      Erased.of_qc_part
+        (Quorum_commit.participant ~config ~self:t.id ~coordinator ~vote
+           ~timeouts)
+
+let make_recovered_part_machine t ~txn ~participants ~state =
+  let timeouts = t.config.commit_timeouts in
+  let coordinator = txn.Tid.origin in
+  match t.config.commit_protocol with
+  | Config.Two_phase variant ->
+      Erased.of_2pc_part
+        (Two_pc.participant_recovered ~variant ~self:t.id ~coordinator
+           ~peers:participants ~timeouts)
+  | Config.Three_phase ->
+      Erased.of_3pc_part
+        (Three_pc.participant_recovered ~self:t.id ~coordinator
+           ~all:participants ~state ~timeouts)
+  | Config.Quorum_commit _ ->
+      let vc, va = qc_quorums t ~n_participants:(List.length participants) in
+      let config =
+        Quorum_commit.config ~all:participants ~commit_quorum:vc
+          ~abort_quorum:va ()
+      in
+      Erased.of_qc_part
+        (Quorum_commit.participant_recovered ~config ~self:t.id ~coordinator
+           ~state ~timeouts)
+
+(* ------------------------------------------------------------------ *)
+(* Participant side                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let part_ctx t txn =
+  match Ids.Txn_map.find_opt t.parts txn with
+  | Some ctx -> Some ctx
+  | None -> None
+
+(* Forward reference for the orphan sweeper (doom_part is defined below). *)
+let doom_part_ref :
+    (t -> part_ctx -> Msg.refusal -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+(* Forward reference for probe initiation (defined with the probe
+   machinery below). *)
+let send_probe_ref : (t -> initiator:Tid.t -> target:Tid.t -> unit) ref =
+  ref (fun _ ~initiator:_ ~target:_ -> ())
+
+let get_or_create_part t txn =
+  match Ids.Txn_map.find_opt t.parts txn with
+  | Some ctx -> ctx
+  | None ->
+      let ctx =
+        {
+          pt_txn = txn;
+          pt_writes = [];
+          pt_participants = [];
+          pt_machine = None;
+          pt_doomed = None;
+          pt_resolved = false;
+          pt_timers = Hashtbl.create 4;
+          pt_waits = [];
+          pt_to_keys = [];
+        }
+      in
+      Ids.Txn_map.replace t.parts txn ctx;
+      (* Orphan sweep: if the coordinator dies before the commit protocol
+         reaches us, no machine will ever resolve this context, and its
+         locks would be held forever.  A machine-less context still
+         unresolved after a generous window is aborted locally — the
+         coordinator, if alive, sees refusals and aborts the whole
+         transaction, so this is always safe. *)
+      let orphan_window = 10 * t.config.commit_timeouts.decision_wait in
+      let rec sweep () =
+        ignore
+          (Engine.schedule_after t.engine orphan_window
+             (guarded t (fun () ->
+                  if not ctx.pt_resolved then
+                    if ctx.pt_machine = None then begin
+                      !doom_part_ref t ctx Msg.R_doomed;
+                      ctx.pt_resolved <- true;
+                      Ids.Txn_map.replace t.presumed txn P.Abort;
+                      Ids.Txn_map.remove t.parts txn
+                    end
+                    else sweep ())))
+      in
+      sweep ();
+      ctx
+
+let note_first_lsn t txn lsn =
+  if not (Ids.Txn_map.mem t.first_lsn txn) then
+    Ids.Txn_map.replace t.first_lsn txn lsn
+
+let to_entry_for t key =
+  match Hashtbl.find_opt t.to_table key with
+  | Some e -> e
+  | None ->
+      let e = { rts = None; wts = None; to_pending = [] } in
+      Hashtbl.add t.to_table key e;
+      e
+
+let ts_lt a b =
+  match (a, b) with
+  | _, None -> false
+  | None, Some _ -> true
+  | Some x, Some y -> Tid.compare x y < 0
+
+let to_clear_pending t ctx =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.to_table key with
+      | Some e ->
+          e.to_pending <-
+            List.filter (fun p -> not (Tid.equal p ctx.pt_txn)) e.to_pending
+      | None -> ())
+    ctx.pt_to_keys;
+  ctx.pt_to_keys <- []
+
+let gc_part t ctx =
+  ignore
+    (Engine.schedule_after t.engine (Time.sec 2)
+       (guarded t (fun () ->
+            if ctx.pt_resolved then Ids.Txn_map.remove t.parts ctx.pt_txn)))
+
+let gc_coord t ctx =
+  ignore
+    (Engine.schedule_after t.engine (Time.sec 2)
+       (guarded t (fun () ->
+            if ctx.co_finished then Ids.Txn_map.remove t.coords ctx.co_txn)))
+
+let set_timer t timers ~feed tm delay =
+  (match Hashtbl.find_opt timers tm with
+  | Some ev -> Engine.cancel t.engine ev
+  | None -> ());
+  let ev =
+    Engine.schedule_after t.engine delay
+      (guarded t (fun () ->
+           Hashtbl.remove timers tm;
+           feed (P.Timeout tm)))
+  in
+  Hashtbl.replace timers tm ev
+
+let clear_timer t timers tm =
+  match Hashtbl.find_opt timers tm with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      Hashtbl.remove timers tm
+  | None -> ()
+
+let log_record_of_tag ctx tag : LR.t list =
+  match (tag : P.log_tag) with
+  | P.L_prepared ->
+      List.map
+        (fun (key, value, version) ->
+          LR.Update { txn = ctx.pt_txn; key; value; version; undo = None })
+        ctx.pt_writes
+      @ [ LR.Prepared { txn = ctx.pt_txn; participants = ctx.pt_participants } ]
+  | P.L_precommit -> [ LR.Precommit ctx.pt_txn ]
+  | P.L_preabort -> [ LR.Preabort ctx.pt_txn ]
+  | P.L_collecting -> [ LR.Collecting ctx.pt_txn ]
+  | P.L_decision P.Commit -> [ LR.Commit ctx.pt_txn ]
+  | P.L_decision P.Abort -> [ LR.Abort ctx.pt_txn ]
+  | P.L_end -> [ LR.End ctx.pt_txn ]
+
+let coord_log_records txn tag : LR.t list =
+  match (tag : P.log_tag) with
+  | P.L_collecting -> [ LR.Collecting txn ]
+  | P.L_decision P.Commit -> [ LR.Commit txn ]
+  | P.L_decision P.Abort -> [ LR.Abort txn ]
+  | P.L_end -> [ LR.End txn ]
+  | P.L_precommit -> [ LR.Precommit txn ]
+  | P.L_preabort -> [ LR.Preabort txn ]
+  | P.L_prepared -> []
+
+let out_commit_msg t ctx_txn ~dst pmsg ~prepare =
+  if dst <> t.id then Counter.incr t.counters "commit_protocol_msgs";
+  local_send t ~dst (Msg.txn_msg ctx_txn (Msg.Commit_msg { pmsg; prepare }))
+
+(* Interpret a participant machine's actions. *)
+let rec interpret_part t ctx actions =
+  List.iter
+    (fun (action : P.action) ->
+      match action with
+      | P.Send (dst, pmsg) -> out_commit_msg t ctx.pt_txn ~dst pmsg ~prepare:None
+      | P.Log (tag, mode) -> (
+          let records = log_record_of_tag ctx tag in
+          let lsn =
+            List.fold_left (fun _ r -> Wal.append t.wal r) (Wal.tail_lsn t.wal)
+              records
+          in
+          note_first_lsn t ctx.pt_txn
+            (lsn - List.length records + 1 |> max 1);
+          match mode with
+          | `Forced ->
+              Wal.force t.wal ~upto:lsn
+                (guarded t (fun () -> feed_part t ctx (P.Log_done tag)))
+          | `Lazy -> ())
+      | P.Deliver d -> resolve_part t ctx d
+      | P.Set_timer (tm, delay) ->
+          set_timer t ctx.pt_timers ~feed:(fun i -> feed_part t ctx i) tm delay
+      | P.Clear_timer tm -> clear_timer t ctx.pt_timers tm
+      | P.Blocked -> Counter.incr t.counters "blocked_reports"
+      | P.Forget ->
+          (* Read-only participant: release without remembering. *)
+          if not ctx.pt_resolved then begin
+            ctx.pt_resolved <- true;
+            Counter.incr t.counters "readonly_releases";
+            Ids.Txn_map.remove t.first_lsn ctx.pt_txn;
+            Lock.release_all t.locks ~txn:ctx.pt_txn;
+            gc_part t ctx
+          end)
+    actions
+
+and feed_part t ctx input =
+  if t.up then
+    match ctx.pt_machine with
+    | None -> ()
+    | Some m ->
+        let m', actions = m.Erased.step input in
+        ctx.pt_machine <- Some m';
+        interpret_part t ctx actions
+
+and resolve_part t ctx (d : P.decision) =
+  if not ctx.pt_resolved then begin
+    ctx.pt_resolved <- true;
+    Ids.Txn_map.replace t.presumed ctx.pt_txn d;
+    (match d with
+    | P.Commit ->
+        List.iter
+          (fun (key, value, version) ->
+            (* Under timestamp ordering, the Thomas write rule skips
+               writes already superseded by a newer-stamped commit; the
+               version guard expresses the same rule in version space and
+               also protects recovery replays. *)
+            let apply =
+              match t.config.concurrency with
+              | Config.Locking -> version > Kv.version t.kv key
+              | Config.Timestamp ->
+                  let e = to_entry_for t key in
+                  if ts_lt (Some ctx.pt_txn) e.wts then false
+                  else begin
+                    e.wts <- Some ctx.pt_txn;
+                    true
+                  end
+            in
+            if apply then Kv.set t.kv ~key ~value ~version)
+          ctx.pt_writes;
+        Counter.incr t.counters "participant_commits";
+        t.commits_since_cp <- t.commits_since_cp + 1;
+        maybe_checkpoint t
+    | P.Abort -> Counter.incr t.counters "participant_aborts");
+    Ids.Txn_map.remove t.first_lsn ctx.pt_txn;
+    to_clear_pending t ctx;
+    Lock.release_all t.locks ~txn:ctx.pt_txn;
+    gc_part t ctx
+  end
+
+and maybe_checkpoint t =
+  let every = t.config.checkpoint_every in
+  if every > 0 && t.commits_since_cp >= every then begin
+    t.commits_since_cp <- 0;
+    let durable = Wal.durable_lsn t.wal in
+    Checkpoint.take t.cp ~kv:t.kv ~lsn:durable;
+    (* Keep records needed by unresolved transactions. *)
+    let floor =
+      Ids.Txn_map.fold (fun _ lsn acc -> min lsn acc) t.first_lsn (durable + 1)
+    in
+    let upto = min durable (floor - 1) in
+    if upto > Wal.first_lsn t.wal - 1 then Wal.truncate t.wal ~upto;
+    Counter.incr t.counters "checkpoints"
+  end
+
+(* Kill a transaction's local execution (deadlock victim, lock timeout,
+   coordinator abort).  Outstanding lock waits are refused; locks drop. *)
+let doom_part t ctx reason =
+  if ctx.pt_doomed = None && not ctx.pt_resolved then begin
+    ctx.pt_doomed <- Some reason;
+    (match reason with
+    | Msg.R_deadlock -> Counter.incr t.counters "deadlock_victims"
+    | Msg.R_lock_timeout -> Counter.incr t.counters "lock_timeouts"
+    | Msg.R_order -> Counter.incr t.counters "order_conflicts"
+    | Msg.R_doomed | Msg.R_down -> ());
+    let waits = ctx.pt_waits in
+    ctx.pt_waits <- [];
+    List.iter
+      (fun w ->
+        if not w.w_done then begin
+          w.w_done <- true;
+          Option.iter (Engine.cancel t.engine) w.w_timer;
+          w.w_refuse reason
+        end)
+      waits;
+    to_clear_pending t ctx;
+    Lock.release_all t.locks ~txn:ctx.pt_txn
+  end
+
+let () = doom_part_ref := doom_part
+
+(* After a lock request queues, check for (local) deadlock and kill the
+   victim immediately. *)
+let resolve_local_deadlocks t =
+  let rec go n =
+    if n > 100_000 then
+      failwith "resolve_local_deadlocks: livelock detected"
+    else
+      match Lock.detect_deadlock t.locks with
+      | None -> ()
+      | Some victim ->
+          (match part_ctx t victim with
+          | Some ctx -> doom_part t ctx Msg.R_deadlock
+          | None ->
+              (* A victim with no participant context can only be a stale
+                 entry; drop its locks so the system moves on. *)
+              Lock.release_all t.locks ~txn:victim);
+          go (n + 1)
+  in
+  go 0
+
+(* Acquire a lock on behalf of a remote (or local) operation, replying
+   through [reply] exactly once. *)
+let acquire_for_op t ctx ~mode ~key ~(on_granted : unit -> unit)
+    ~(reply_refuse : Msg.refusal -> unit) =
+  match ctx.pt_doomed with
+  | Some r -> reply_refuse r
+  | None -> (
+      let wait =
+        { w_done = false; w_refuse = reply_refuse; w_timer = None }
+      in
+      let granted () =
+        if not wait.w_done then begin
+          wait.w_done <- true;
+          Option.iter (Engine.cancel t.engine) wait.w_timer;
+          ctx.pt_waits <- List.filter (fun w -> w != wait) ctx.pt_waits;
+          on_granted ()
+        end
+      in
+      match Lock.acquire t.locks ~txn:ctx.pt_txn ~key ~mode ~on_grant:granted
+      with
+      | Lock.Granted -> on_granted ()
+      | Lock.Waiting ->
+          ctx.pt_waits <- wait :: ctx.pt_waits;
+          let timer =
+            Engine.schedule_after t.engine t.config.lock_wait_timeout
+              (guarded t (fun () ->
+                   if not wait.w_done then doom_part t ctx Msg.R_lock_timeout))
+          in
+          wait.w_timer <- Some timer;
+          resolve_local_deadlocks t;
+          if t.config.probe_deadlocks && not wait.w_done then
+            List.iter
+              (fun blocker ->
+                !send_probe_ref t ~initiator:ctx.pt_txn ~target:blocker)
+              (Lock.blocking t.locks ~txn:ctx.pt_txn))
+
+let handle_read_req t ~txn ~key ~(reply : (string option * int, Msg.refusal) Result.t -> unit) =
+  if t.catching then reply (Error Msg.R_down)
+  else begin
+    let ctx = get_or_create_part t txn in
+    match t.config.concurrency with
+    | Config.Timestamp ->
+        if ctx.pt_doomed <> None then reply (Error Msg.R_doomed)
+        else begin
+          let e = to_entry_for t key in
+          let blocked_by_pending =
+            List.exists
+              (fun p -> (not (Tid.equal p txn)) && Tid.compare p txn <= 0)
+              e.to_pending
+          in
+          if ts_lt (Some txn) e.wts || blocked_by_pending then begin
+            doom_part t ctx Msg.R_order;
+            reply (Error Msg.R_order)
+          end
+          else begin
+            if ts_lt e.rts (Some txn) then e.rts <- Some txn;
+            reply
+              (Ok
+                 ( Option.map (fun (i : Kv.item) -> i.value) (Kv.get t.kv key),
+                   Kv.version t.kv key ))
+          end
+        end
+    | Config.Locking ->
+        acquire_for_op t ctx ~mode:Lock.Shared ~key
+          ~on_granted:(fun () ->
+            let item = Kv.get t.kv key in
+            reply
+              (Ok
+                 ( Option.map (fun (i : Kv.item) -> i.value) item,
+                   Kv.version t.kv key )))
+          ~reply_refuse:(fun r -> reply (Error r))
+  end
+
+let handle_write_req t ~txn ~key ~(reply : (int, Msg.refusal) Result.t -> unit)
+    =
+  (* Writes are accepted even while catching up: a validating copy must
+     not miss commits that land during its transfer (reads stay refused
+     until validation completes). *)
+  let ctx = get_or_create_part t txn in
+  match t.config.concurrency with
+  | Config.Timestamp ->
+      if ctx.pt_doomed <> None then reply (Error Msg.R_doomed)
+      else begin
+        let e = to_entry_for t key in
+        if ts_lt (Some txn) e.rts || ts_lt (Some txn) e.wts then begin
+          doom_part t ctx Msg.R_order;
+          reply (Error Msg.R_order)
+        end
+        else begin
+          if not (List.exists (Tid.equal txn) e.to_pending) then begin
+            e.to_pending <- txn :: e.to_pending;
+            ctx.pt_to_keys <- key :: ctx.pt_to_keys
+          end;
+          reply (Ok (Kv.version t.kv key))
+        end
+      end
+  | Config.Locking ->
+      acquire_for_op t ctx ~mode:Lock.Exclusive ~key
+        ~on_granted:(fun () -> reply (Ok (Kv.version t.kv key)))
+        ~reply_refuse:(fun r -> reply (Error r))
+
+let handle_abort_txn t txn =
+  match part_ctx t txn with
+  | None -> Ids.Txn_map.replace t.presumed txn P.Abort
+  | Some ctx ->
+      doom_part t ctx Msg.R_doomed;
+      ctx.pt_resolved <- true;
+      Ids.Txn_map.replace t.presumed txn P.Abort;
+      Counter.incr t.counters "participant_aborts";
+      gc_part t ctx
+
+let handle_vote_req t ~src txn (prepare : Msg.prepare_info option) =
+  let ctx = get_or_create_part t txn in
+  if ctx.pt_machine <> None then
+    (* Duplicate vote request: let the machine handle it. *)
+    feed_part t ctx (P.Recv (src, P.Vote_req))
+  else begin
+    let validation_ok =
+      match prepare with
+      | Some { presumed_down; writes; _ } ->
+          (* Available-copies validation: refuse to certify an update
+             that skipped a copy we know to be alive (the coordinator's
+             failure view is stale). *)
+          writes = []
+          || List.for_all (fun s -> not (up_pred t s)) presumed_down
+      | None -> true
+    in
+    (match prepare with
+    | Some { writes; participants; _ } ->
+        ctx.pt_writes <- writes;
+        ctx.pt_participants <- participants
+    | None -> if ctx.pt_participants = [] then ctx.pt_participants <- all_site_ids t);
+    let pledged_abort =
+      match Ids.Txn_map.find_opt t.presumed txn with
+      | Some P.Abort -> true
+      | _ -> false
+    in
+    if not validation_ok then Counter.incr t.counters "validation_vetoes";
+    let vote = ctx.pt_doomed = None && (not pledged_abort) && validation_ok in
+    ctx.pt_machine <-
+      Some
+        (make_part_machine t ~txn ~participants:ctx.pt_participants ~vote
+           ~read_only:(ctx.pt_writes = []));
+    feed_part t ctx (P.Recv (src, P.Vote_req))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let site_writes_for ctx dst =
+  match Hashtbl.find_opt ctx.co_site_writes dst with
+  | Some r -> List.rev !r
+  | None -> []
+
+let rec interpret_coord t ctx actions =
+  List.iter
+    (fun (action : P.action) ->
+      match action with
+      | P.Send (dst, pmsg) ->
+          let prepare =
+            match pmsg with
+            | P.Vote_req ->
+                let presumed_down =
+                  if
+                    RC.needs_catchup_on_recovery t.config.replica_control
+                  then
+                    List.filter
+                      (fun s -> not (up_pred t s))
+                      (all_site_ids t)
+                  else []
+                in
+                Some
+                  {
+                    Msg.writes = site_writes_for ctx dst;
+                    participants = Sset.elements ctx.co_touched;
+                    presumed_down;
+                  }
+            | _ -> None
+          in
+          out_commit_msg t ctx.co_txn ~dst pmsg ~prepare
+      | P.Log (tag, mode) -> (
+          let records = coord_log_records ctx.co_txn tag in
+          let lsn =
+            List.fold_left (fun _ r -> Wal.append t.wal r) (Wal.tail_lsn t.wal)
+              records
+          in
+          match mode with
+          | `Forced ->
+              Wal.force t.wal ~upto:lsn
+                (guarded t (fun () -> feed_coord t ctx (P.Log_done tag)))
+          | `Lazy -> ())
+      | P.Deliver d ->
+          Ids.Txn_map.replace t.presumed ctx.co_txn d;
+          finish_coord t ctx
+            (match d with
+            | P.Commit -> Committed
+            | P.Abort -> Aborted Protocol_abort)
+      | P.Set_timer (tm, delay) ->
+          set_timer t ctx.co_timers ~feed:(fun i -> feed_coord t ctx i) tm delay
+      | P.Clear_timer tm -> clear_timer t ctx.co_timers tm
+      | P.Blocked -> Counter.incr t.counters "blocked_reports"
+      | P.Forget -> ())
+    actions
+
+and feed_coord t ctx input =
+  if t.up then
+    match ctx.co_machine with
+    | None -> ()
+    | Some m ->
+        let m', actions = m.Erased.step input in
+        ctx.co_machine <- Some m';
+        interpret_coord t ctx actions
+
+and finish_coord t ctx outcome =
+  if not ctx.co_finished then begin
+    ctx.co_finished <- true;
+    ctx.co_outcome <- Some outcome;
+    (match outcome with
+    | Committed ->
+        Counter.incr t.counters "commits";
+        Sample.add t.lat
+          (Time.to_float_s (Time.sub (Engine.now t.engine) ctx.co_started))
+    | Aborted reason ->
+        Counter.incr t.counters "aborts";
+        Counter.incr t.counters ("aborts_" ^ abort_reason_label reason));
+    ctx.co_k outcome;
+    gc_coord t ctx
+  end
+
+(* Abort before the commit protocol started: tell every touched site and
+   fail any operation the caller is still waiting on. *)
+let abort_coord_early t ctx reason =
+  if not ctx.co_finished then begin
+    let pending_k =
+      match ctx.co_wait with
+      | Some (W_read { rw_timer; rw_k; _ }) ->
+          Engine.cancel t.engine rw_timer;
+          Some (fun () -> rw_k (Error reason))
+      | Some (W_write { ww_timer; ww_k; _ }) ->
+          Engine.cancel t.engine ww_timer;
+          Some (fun () -> ww_k (Error reason))
+      | None -> None
+    in
+    ctx.co_wait <- None;
+    Ids.Txn_map.replace t.presumed ctx.co_txn P.Abort;
+    Sset.iter
+      (fun s ->
+        if s = t.id then handle_abort_txn t ctx.co_txn
+        else begin
+          Counter.incr t.counters "commit_protocol_msgs";
+          t.send_raw ~dst:s (Msg.txn_msg ctx.co_txn Msg.Abort_txn)
+        end)
+      ctx.co_touched;
+    finish_coord t ctx (Aborted reason);
+    Option.iter (fun k -> k ()) pending_k
+  end
+
+let reason_of_refusal = function
+  | Msg.R_lock_timeout -> Lock_conflict
+  | Msg.R_deadlock -> Deadlock
+  | Msg.R_order -> Order_conflict
+  | Msg.R_doomed -> Lock_conflict
+  | Msg.R_down -> Unavailable
+
+(* One logical read: assemble the plan, collect replies, resolve the
+   newest version.  [k] fires exactly once. *)
+let rec do_read t ctx ~key ~k =
+  if ctx.co_finished then
+    k (Error (match ctx.co_outcome with
+              | Some (Aborted r) -> r
+              | _ -> Protocol_abort))
+  else
+    match Hashtbl.find_opt ctx.co_cache key with
+    | Some v -> k (Ok (Some v))  (* read-your-writes *)
+    | None -> (
+        match
+          RC.read_plan t.config.replica_control ~self:t.id ~up:(up_pred t)
+            ~sites:t.config.sites
+        with
+        | None ->
+            abort_coord_early t ctx Unavailable
+        | Some plan ->
+            ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
+            let timer =
+              Engine.schedule_after t.engine t.config.op_timeout
+                (guarded t (fun () -> abort_coord_early t ctx Op_timeout))
+            in
+            let wait =
+              W_read
+                {
+                  rw_key = key;
+                  rw_pending = Sset.of_list plan;
+                  rw_version = -1;
+                  rw_value = None;
+                  rw_timer = timer;
+                  rw_k = k;
+                }
+            in
+            ctx.co_wait <- Some wait;
+            List.iter (fun s -> send_read t ctx ~dst:s ~key) plan)
+
+and do_write t ctx ~key ~value ~k =
+  if ctx.co_finished then
+    k (Error (match ctx.co_outcome with
+              | Some (Aborted r) -> r
+              | _ -> Protocol_abort))
+  else
+    match
+      RC.write_plan t.config.replica_control ~self:t.id ~up:(up_pred t)
+        ~sites:t.config.sites
+    with
+    | None -> abort_coord_early t ctx Unavailable
+    | Some plan ->
+        ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
+        let timer =
+          Engine.schedule_after t.engine t.config.op_timeout
+            (guarded t (fun () -> abort_coord_early t ctx Op_timeout))
+        in
+        let wait =
+          W_write
+            {
+              ww_key = key;
+              ww_value = value;
+              ww_plan = plan;
+              ww_pending = Sset.of_list plan;
+              ww_maxv = 0;
+              ww_timer = timer;
+              ww_k = k;
+            }
+        in
+        ctx.co_wait <- Some wait;
+        List.iter (fun s -> send_write t ctx ~dst:s ~key ~value) plan
+
+and send_read t ctx ~dst ~key =
+  if dst = t.id then
+    handle_read_req t ~txn:ctx.co_txn ~key ~reply:(fun result ->
+        (* Loop back asynchronously so reply handling never re-enters. *)
+        ignore
+          (Engine.schedule_after t.engine Time.zero
+             (guarded t (fun () ->
+                  coord_read_reply t ctx ~src:t.id ~key ~result))))
+  else begin
+    Counter.incr t.counters "data_msgs";
+    t.send_raw ~dst (Msg.txn_msg ctx.co_txn (Msg.Read_req { key }))
+  end
+
+and send_write t ctx ~dst ~key ~value =
+  if dst = t.id then
+    handle_write_req t ~txn:ctx.co_txn ~key ~reply:(fun result ->
+        ignore
+          (Engine.schedule_after t.engine Time.zero
+             (guarded t (fun () ->
+                  coord_write_reply t ctx ~src:t.id ~key ~result))))
+  else begin
+    Counter.incr t.counters "data_msgs";
+    t.send_raw ~dst (Msg.txn_msg ctx.co_txn (Msg.Write_req { key; value }))
+  end
+
+and coord_read_reply t ctx ~src ~key ~result =
+  match ctx.co_wait with
+  | Some (W_read rw) when String.equal rw.rw_key key -> (
+      match result with
+      | Error r -> abort_coord_early t ctx (reason_of_refusal r)
+      | Ok (value, version) ->
+          rw.rw_pending <- Sset.remove src rw.rw_pending;
+          if version > rw.rw_version then begin
+            rw.rw_version <- version;
+            rw.rw_value <- value
+          end;
+          if Sset.is_empty rw.rw_pending then begin
+            Engine.cancel t.engine rw.rw_timer;
+            ctx.co_wait <- None;
+            rw.rw_k (Ok rw.rw_value)
+          end)
+  | _ -> ()
+
+and coord_write_reply t ctx ~src ~key ~result =
+  match ctx.co_wait with
+  | Some (W_write ww) when String.equal ww.ww_key key -> (
+      match result with
+      | Error r -> abort_coord_early t ctx (reason_of_refusal r)
+      | Ok version ->
+          ww.ww_pending <- Sset.remove src ww.ww_pending;
+          if version > ww.ww_maxv then ww.ww_maxv <- version;
+          if Sset.is_empty ww.ww_pending then begin
+            Engine.cancel t.engine ww.ww_timer;
+            let new_version = ww.ww_maxv + 1 in
+            List.iter
+              (fun s ->
+                let r =
+                  match Hashtbl.find_opt ctx.co_site_writes s with
+                  | Some r -> r
+                  | None ->
+                      let r = ref [] in
+                      Hashtbl.replace ctx.co_site_writes s r;
+                      r
+                in
+                r := (ww.ww_key, ww.ww_value, new_version) :: !r)
+              ww.ww_plan;
+            Hashtbl.replace ctx.co_cache ww.ww_key ww.ww_value;
+            ctx.co_wait <- None;
+            ww.ww_k (Ok ())
+          end)
+  | _ -> ()
+
+let begin_commit t ctx =
+  if not ctx.co_finished then begin
+    let participants = Sset.elements ctx.co_touched in
+    if participants = [] then finish_coord t ctx Committed
+    else begin
+      ctx.co_machine <- Some (make_coord_machine t ~participants);
+      feed_coord t ctx P.Start
+    end
+  end
+
+(* Batch driver: execute a fixed operation list then commit. *)
+let rec step_txn t ctx =
+  if not ctx.co_finished then
+    match ctx.co_ops with
+    | [] -> begin_commit t ctx
+    | op :: rest ->
+        ctx.co_ops <- rest;
+        let continue result =
+          match result with Ok _ -> step_txn t ctx | Error _ -> ()
+        in
+        (match op with
+        | Rt_workload.Mix.Read key -> do_read t ctx ~key ~k:continue
+        | Rt_workload.Mix.Write (key, value) ->
+            do_write t ctx ~key ~value ~k:(fun r -> continue r))
+
+let new_coord_ctx t ~ops ~k =
+  t.txn_seq <- t.txn_seq + 1;
+  let txn =
+    Tid.make ~origin:t.id ~seq:t.txn_seq ~start_ts:(Engine.now t.engine)
+  in
+  let ctx =
+    {
+      co_txn = txn;
+      co_started = Engine.now t.engine;
+      co_ops = ops;
+      co_touched = Sset.empty;
+      co_site_writes = Hashtbl.create 8;
+      co_cache = Hashtbl.create 8;
+      co_machine = None;
+      co_timers = Hashtbl.create 4;
+      co_wait = None;
+      co_finished = false;
+      co_outcome = None;
+      co_k = k;
+      co_probes_seen = Ids.Txn_map.create 4;
+    }
+  in
+  Ids.Txn_map.replace t.coords txn ctx;
+  Counter.incr t.counters "txns_started";
+  ctx
+
+let submit t ~ops ~k =
+  if not (serving t) then k (Aborted Site_down)
+  else step_txn t (new_coord_ctx t ~ops ~k)
+
+(* --- interactive transactions ------------------------------------- *)
+
+type txn = coord_ctx
+
+let begin_txn t =
+  if not (serving t) then None
+  else Some (new_coord_ctx t ~ops:[] ~k:(fun _ -> ()))
+
+let txn_read t h ~key ~k = do_read t h ~key ~k
+let txn_write t h ~key ~value ~k = do_write t h ~key ~value ~k
+
+let txn_commit t h ~k =
+  match h.co_outcome with
+  | Some outcome -> k outcome
+  | None ->
+      h.co_k <- k;
+      begin_commit t h
+
+let txn_abort t h =
+  if not h.co_finished then abort_coord_early t h Protocol_abort
+
+(* ------------------------------------------------------------------ *)
+(* Distributed deadlock probes (Chandy–Misra–Haas edge chasing)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Send a probe that chases the edge [initiator waits-for target]. *)
+let rec send_probe t ~initiator ~(target : Tid.t) =
+  if target.Tid.origin = t.id then handle_probe t ~initiator ~target
+  else begin
+    Counter.incr t.counters "probe_msgs";
+    t.send_raw ~dst:target.Tid.origin
+      (Msg.txn_msg target (Msg.Probe { initiator }))
+  end
+
+(* A probe has arrived for [target].  Two cases: at [target]'s home site
+   we route it onward (or declare a cycle if it came back to its own
+   initiator); elsewhere we fan it out to [target]'s local blockers. *)
+and handle_probe t ~initiator ~target =
+  if target.Tid.origin = t.id then begin
+    if Tid.equal initiator target then begin
+      (* The probe went round a cycle: the initiator is deadlocked. *)
+      match Ids.Txn_map.find_opt t.coords target with
+      | Some ctx when (not ctx.co_finished) && ctx.co_machine = None ->
+          Counter.incr t.counters "probe_deadlocks";
+          abort_coord_early t ctx Deadlock
+      | _ -> ()
+    end
+    else
+      match Ids.Txn_map.find_opt t.coords target with
+      | Some ctx
+        when (not ctx.co_finished)
+             && not (Ids.Txn_map.mem ctx.co_probes_seen initiator) -> (
+          Ids.Txn_map.replace ctx.co_probes_seen initiator ();
+          (* Forward to every site the transaction is waiting on. *)
+          match ctx.co_wait with
+          | Some (W_read { rw_pending = pending; _ })
+          | Some (W_write { ww_pending = pending; _ }) ->
+              Sset.iter
+                (fun site ->
+                  if site = t.id then probe_local_blockers t ~initiator ~target
+                  else begin
+                    Counter.incr t.counters "probe_msgs";
+                    t.send_raw ~dst:site
+                      (Msg.txn_msg target (Msg.Probe { initiator }))
+                  end)
+                pending
+          | None -> ())
+      | _ -> ()
+  end
+  else probe_local_blockers t ~initiator ~target
+
+and probe_local_blockers t ~initiator ~target =
+  List.iter
+    (fun blocker ->
+      if Tid.equal blocker initiator then
+        (* Cycle closed: tell the initiator's coordinator. *)
+        send_probe t ~initiator ~target:initiator
+      else send_probe t ~initiator ~target:blocker)
+    (Lock.blocking t.locks ~txn:target)
+
+let () = send_probe_ref := send_probe
+
+(* ------------------------------------------------------------------ *)
+(* Commit-message routing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The presumption a site must apply for a transaction it knows nothing
+   about.  Only the transaction's coordinator applies the 2PC variant's
+   presumption; any other site that has never voted may (and does) pledge
+   abort, which also vetoes any future vote request. *)
+let answer_unknown t ~src txn (pmsg : P.msg) =
+  let reply m = out_commit_msg t txn ~dst:src m ~prepare:None in
+  let known = Ids.Txn_map.find_opt t.presumed txn in
+  match pmsg with
+  | P.Decision_req -> (
+      match known with
+      | Some d -> reply (P.Decision_msg d)
+      | None ->
+          if txn.Tid.origin = t.id then
+            match t.config.commit_protocol with
+            | Config.Two_phase variant ->
+                reply (P.Decision_msg (Two_pc.presumption variant))
+            | Config.Three_phase | Config.Quorum_commit _ ->
+                reply P.Decision_unknown
+          else begin
+            (* Never participated: pledge abort. *)
+            Ids.Txn_map.replace t.presumed txn P.Abort;
+            reply (P.Decision_msg P.Abort)
+          end)
+  | P.State_req | P.Pq_state_req _ -> (
+      let state_of = function
+        | P.Commit -> P.P_committed
+        | P.Abort -> P.P_aborted
+      in
+      let st =
+        match known with
+        | Some d -> state_of d
+        | None ->
+            Ids.Txn_map.replace t.presumed txn P.Abort;
+            P.P_aborted
+      in
+      match pmsg with
+      | P.Pq_state_req e -> reply (P.Pq_state_report (e, st))
+      | _ -> reply (P.State_report st))
+  | P.Decision_msg _ | P.Decision_unknown | P.Vote_yes | P.Vote_no
+  | P.Decision_ack | P.Precommit_msg | P.Precommit_ack | P.Pq_precommit _
+  | P.Pq_precommit_ack _ | P.Pq_preabort _ | P.Pq_preabort_ack _
+  | P.State_report _ | P.Pq_state_report _ | P.Vote_req
+  | P.Vote_read_only ->
+      ()
+
+let route_commit_msg t ~src txn (pmsg : P.msg) prepare =
+  let coord = Ids.Txn_map.find_opt t.coords txn in
+  let coord_machine =
+    match coord with
+    | Some c when c.co_machine <> None -> Some c
+    | _ -> None
+  in
+  let to_part () =
+    match part_ctx t txn with
+    | Some ctx when ctx.pt_machine <> None ->
+        feed_part t ctx (P.Recv (src, pmsg))
+    | Some _ | None -> answer_unknown t ~src txn pmsg
+  in
+  match pmsg with
+  | P.Vote_req -> handle_vote_req t ~src txn prepare
+  | P.Vote_yes | P.Vote_no | P.Vote_read_only | P.Decision_ack -> (
+      match coord_machine with
+      | Some c -> feed_coord t c (P.Recv (src, pmsg))
+      | None -> ())
+  | P.Precommit_ack | P.Pq_precommit_ack _ | P.Pq_preabort_ack _ -> (
+      match coord_machine with
+      | Some c -> feed_coord t c (P.Recv (src, pmsg))
+      | None -> to_part ())
+  | P.State_report _ | P.Pq_state_report _ -> to_part ()
+  | P.Decision_req -> (
+      match coord_machine with
+      | Some c when (match c.co_machine with
+                     | Some m -> m.Erased.decision <> None
+                     | None -> false) ->
+          feed_coord t c (P.Recv (src, pmsg))
+      | _ -> (
+          (* A recorded outcome answers even when a local participant
+             machine is itself still uncertain (e.g. a recovered
+             coordinator-site participant asking around). *)
+          match Ids.Txn_map.find_opt t.presumed txn with
+          | Some d ->
+              out_commit_msg t txn ~dst:src (P.Decision_msg d) ~prepare:None
+          | None -> to_part ()))
+  | P.Decision_msg _ | P.Decision_unknown | P.Precommit_msg
+  | P.Pq_precommit _ | P.Pq_preabort _ | P.State_req | P.Pq_state_req _ ->
+      to_part ()
+
+(* ------------------------------------------------------------------ *)
+(* Failure-detector wiring                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_machines_feed t input =
+  let coords = Ids.Txn_map.fold (fun _ c acc -> c :: acc) t.coords [] in
+  let parts = Ids.Txn_map.fold (fun _ p acc -> p :: acc) t.parts [] in
+  List.iter (fun c -> if c.co_machine <> None then feed_coord t c input) coords;
+  List.iter (fun p -> if p.pt_machine <> None then feed_part t p input) parts
+
+let on_peer_down t peer =
+  Counter.incr t.counters "peer_down_events";
+  all_machines_feed t (P.Peer_down peer)
+
+let on_peer_up t _peer =
+  let view = up_view t in
+  all_machines_feed t (P.Peers_reachable view)
+
+let start_hb t =
+  match t.hb with
+  | Some hb -> Heartbeat.start hb
+  | None ->
+      let hb =
+        Heartbeat.create t.engine ~self:t.id ~peers:(all_site_ids t)
+          ~interval:t.config.heartbeat_interval
+          ~miss_threshold:t.config.heartbeat_miss
+          ~send_beat:(fun peer ->
+            if t.up then t.send_raw ~dst:peer (Msg.site_msg Msg.Heartbeat))
+          ~on_down:(fun peer -> if t.up then on_peer_down t peer)
+          ~on_up:(fun peer -> if t.up then on_peer_up t peer)
+      in
+      t.hb <- Some hb;
+      Heartbeat.start hb
+
+let start t = start_hb t
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inventory t =
+  Kv.snapshot t.kv |> List.map (fun (k, (i : Kv.item)) -> (k, i.version))
+
+let handle_catchup_req t ~src keys =
+  (* Always answer: a copy that is itself validating marks its reply
+     partial — the requester merges it (newer versions only, always
+     safe) and keeps rotating until it has either a complete reply or a
+     full cycle of merges (which together contain every survivor's
+     data). *)
+  let theirs = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace theirs k v) keys;
+  let entries =
+    Kv.snapshot t.kv
+    |> List.filter_map (fun (k, (i : Kv.item)) ->
+           let their_v = Option.value (Hashtbl.find_opt theirs k) ~default:0 in
+           if i.version > their_v then Some (k, i.value, i.version) else None)
+  in
+  t.send_raw ~dst:src
+    (Msg.site_msg (Msg.Catchup_reply { entries; complete = not t.catching }))
+
+let handle_catchup_reply t entries ~complete =
+  if t.catching then begin
+    List.iter
+      (fun (key, value, version) ->
+        if version > Kv.version t.kv key then Kv.set t.kv ~key ~value ~version)
+      entries;
+    if complete then begin
+      t.catching <- false;
+      Counter.incr t.counters "catchups"
+    end
+  end
+
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.catching <- false;
+    t.incarnation <- t.incarnation + 1;
+    Counter.incr t.counters "crashes";
+    Option.iter Heartbeat.stop t.hb;
+    Wal.crash t.wal;
+    Kv.clear t.kv;
+    t.locks <- Lock.create ();
+    Hashtbl.reset t.to_table;
+    (* Clients waiting on this coordinator learn the site died. *)
+    let pending =
+      Ids.Txn_map.fold
+        (fun _ ctx acc -> if ctx.co_finished then acc else ctx :: acc)
+        t.coords []
+    in
+    List.iter
+      (fun ctx ->
+        ctx.co_finished <- true;
+        Counter.incr t.counters "aborts";
+        Counter.incr t.counters ("aborts_" ^ abort_reason_label Site_down);
+        ctx.co_k (Aborted Site_down))
+      pending;
+    Ids.Txn_map.reset t.coords;
+    Ids.Txn_map.reset t.parts;
+    Ids.Txn_map.reset t.presumed;
+    Ids.Txn_map.reset t.first_lsn
+  end
+
+let doubt_state_of (d : Recovery.doubt_state) : P.participant_state =
+  match d with
+  | Recovery.D_prepared -> P.P_uncertain
+  | Recovery.D_precommitted -> P.P_precommitted
+  | Recovery.D_preaborted -> P.P_preaborted
+
+let recover t =
+  if not t.up then begin
+    t.incarnation <- t.incarnation + 1;
+    Counter.incr t.counters "recoveries";
+    (* Restore the checkpoint and replay the durable log now; surface the
+       result only after the simulated replay time has passed. *)
+    ignore (Checkpoint.restore_latest t.cp t.kv);
+    let log = Wal.durable_records t.wal in
+    let outcome = Recovery.recover t.kv log in
+    let duration =
+      Recovery.replay_duration ~per_record:t.config.recovery_per_record
+        ~scanned:outcome.scanned ~redone:outcome.redone
+    in
+    let inc = t.incarnation in
+    ignore
+      (Engine.schedule_after t.engine duration (fun () ->
+           if t.incarnation = inc && not t.up then begin
+             t.up <- true;
+             List.iter
+               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Commit)
+               outcome.committed;
+             List.iter
+               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Abort)
+               outcome.aborted;
+             (* Presumed-commit coordinator records without a decision
+                must abort. *)
+             List.iter
+               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Abort)
+               outcome.collecting;
+             (* Under 2PC, an in-doubt transaction coordinated *here* is
+                settled by this site's own log: no decision record means
+                no decision was ever distributed, so the variant's
+                presumption (adjusted by any Collecting record, handled
+                above) is the answer the coordinator side must give. *)
+             (match t.config.commit_protocol with
+             | Config.Two_phase variant ->
+                 List.iter
+                   (fun (d : Recovery.in_doubt) ->
+                     if
+                       d.txn.Tid.origin = t.id
+                       && not (Ids.Txn_map.mem t.presumed d.txn)
+                     then
+                       Ids.Txn_map.replace t.presumed d.txn
+                         (Two_pc.presumption variant))
+                   outcome.in_doubt
+             | Config.Three_phase | Config.Quorum_commit _ -> ());
+             (* Rebuild termination machinery for in-doubt transactions. *)
+             List.iter
+               (fun (d : Recovery.in_doubt) ->
+                 let participants =
+                   if d.participants = [] then all_site_ids t
+                   else d.participants
+                 in
+                 let ctx = get_or_create_part t d.txn in
+                 ctx.pt_writes <- d.writes;
+                 ctx.pt_participants <- participants;
+                 ctx.pt_machine <-
+                   Some
+                     (make_recovered_part_machine t ~txn:d.txn ~participants
+                        ~state:(doubt_state_of d.state));
+                 feed_part t ctx P.Start)
+               outcome.in_doubt;
+             (* Catch up missed committed updates when the replica-control
+                protocol requires validated copies.  Until the transfer
+                completes the site does not heartbeat, so peers keep
+                treating it as down and exclude it from plans — the
+                classical "validate before serving" discipline.  The
+                request retries (rotating peers) until somebody answers. *)
+             start_hb t;
+             if
+               RC.needs_catchup_on_recovery t.config.replica_control
+               && t.config.sites > 1
+             then begin
+               t.catching <- true;
+               let peers =
+                 List.filter (fun s -> s <> t.id) (all_site_ids t)
+               in
+               let n_peers = List.length peers in
+               let attempt = ref 0 in
+               let rec ask () =
+                 if t.catching then
+                   if !attempt >= (2 * n_peers) + 2 then begin
+                     (* Merged with (or timed out against) every peer at
+                        least twice: together with our own log that is the
+                        element-wise max of every survivor's state. *)
+                     t.catching <- false;
+                     Counter.incr t.counters "catchups"
+                   end
+                   else begin
+                     let peer = List.nth peers (!attempt mod n_peers) in
+                     incr attempt;
+                     t.send_raw ~dst:peer
+                       (Msg.site_msg (Msg.Catchup_req { keys = inventory t }));
+                     ignore
+                       (Engine.schedule_after t.engine
+                          t.config.commit_timeouts.resend_every
+                          (guarded t ask))
+                   end
+               in
+               ask ()
+             end
+           end))
+  end
+
+let preload t ~entries =
+  List.iter
+    (fun (key, value) -> Kv.set t.kv ~key ~value ~version:1)
+    entries;
+  Checkpoint.take t.cp ~kv:t.kv ~lsn:(Wal.durable_lsn t.wal)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery entry point                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in diagnostic ring buffer of recent deliveries (debugging aid). *)
+let trace_deliveries = ref false
+let recent : string list ref = ref []
+
+let note_recent t ~src msg =
+  if !trace_deliveries then
+    recent :=
+      Format.asprintf "site=%d src=%d %a" t.id src Msg.pp msg
+      :: (if List.length !recent > 30 then
+            List.filteri (fun i _ -> i < 29) !recent
+          else !recent)
+
+let dump_recent () = List.rev !recent
+
+let receive t ~src (msg : Msg.t) =
+  note_recent t ~src msg;
+  if t.up then
+    match (msg.txn, msg.payload) with
+    | None, Msg.Heartbeat ->
+        Option.iter (fun hb -> Heartbeat.beat_received hb ~from:src) t.hb
+    | None, Msg.Catchup_req { keys } -> handle_catchup_req t ~src keys
+    | None, Msg.Catchup_reply { entries; complete } ->
+        handle_catchup_reply t entries ~complete
+    | Some txn, Msg.Read_req { key } ->
+        handle_read_req t ~txn ~key ~reply:(fun result ->
+            t.send_raw ~dst:src
+              (Msg.txn_msg txn (Msg.Read_reply { key; result })))
+    | Some txn, Msg.Write_req { key; value } ->
+        ignore value;
+        handle_write_req t ~txn ~key ~reply:(fun result ->
+            t.send_raw ~dst:src
+              (Msg.txn_msg txn (Msg.Write_reply { key; result })))
+    | Some txn, Msg.Read_reply { key; result } -> (
+        match Ids.Txn_map.find_opt t.coords txn with
+        | Some ctx -> coord_read_reply t ctx ~src ~key ~result
+        | None -> ())
+    | Some txn, Msg.Write_reply { key; result } -> (
+        match Ids.Txn_map.find_opt t.coords txn with
+        | Some ctx -> coord_write_reply t ctx ~src ~key ~result
+        | None -> ())
+    | Some txn, Msg.Abort_txn -> handle_abort_txn t txn
+    | Some txn, Msg.Probe { initiator } ->
+        handle_probe t ~initiator ~target:txn
+    | Some txn, Msg.Commit_msg { pmsg; prepare } ->
+        route_commit_msg t ~src txn pmsg prepare
+    | Some _, (Msg.Heartbeat | Msg.Catchup_req _ | Msg.Catchup_reply _)
+    | None,
+      ( Msg.Read_req _ | Msg.Read_reply _ | Msg.Write_req _
+      | Msg.Write_reply _ | Msg.Abort_txn | Msg.Commit_msg _ | Msg.Probe _ )
+      ->
+        ()
+
+let () = receive_ref := receive

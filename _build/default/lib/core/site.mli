@@ -1,0 +1,137 @@
+(** A replica site: the composition the paper's system runs at every node.
+
+    Each site owns a versioned store, a write-ahead log on simulated
+    stable storage, a strict-2PL lock table, a heartbeat failure detector,
+    and — per transaction — commitment-protocol state machines (as both
+    coordinator for locally submitted transactions and participant for
+    everyone's).  The site interprets the pure machines' actions: it ships
+    their messages, performs their forced log writes, runs their timers,
+    and applies their decisions to the store.
+
+    Crash/recovery follows the storage discipline: a crash discards the
+    store, the lock table, and every in-memory machine; recovery restores
+    the last checkpoint, replays the durable log (taking simulated time
+    proportional to its length), rebuilds termination machines for
+    in-doubt transactions, and — for replica-control protocols that need
+    it — refuses reads until a catch-up transfer from a live peer
+    completes. *)
+
+open Rt_sim
+open Rt_types
+
+type abort_reason =
+  | Unavailable  (** No read/write plan under the current up-set. *)
+  | Lock_conflict  (** A participant refused: lock timeout. *)
+  | Deadlock  (** Chosen as a local deadlock victim. *)
+  | Order_conflict
+      (** Timestamp-ordering rejection; restart acquires a newer stamp. *)
+  | Op_timeout  (** A read/write round never completed. *)
+  | Protocol_abort  (** The commit protocol decided abort. *)
+  | Site_down  (** Submitted to a crashed site. *)
+
+val abort_reason_label : abort_reason -> string
+
+type outcome = Committed | Aborted of abort_reason
+
+type t
+
+val create :
+  engine:Engine.t ->
+  id:Ids.site_id ->
+  config:Config.t ->
+  send:(dst:Ids.site_id -> Msg.t -> unit) ->
+  counters:Rt_metrics.Counter.t ->
+  t
+(** [send] is wired to the simulated network by the cluster; the site
+    never sends to itself through it. *)
+
+val id : t -> Ids.site_id
+
+val start : t -> unit
+(** Begin heartbeating.  Call once after every site is registered. *)
+
+val receive : t -> src:Ids.site_id -> Msg.t -> unit
+(** Network delivery entry point. *)
+
+val trace_deliveries : bool ref
+(** When set, keep a small ring buffer of recent deliveries (all sites). *)
+
+val dump_recent : unit -> string list
+(** The ring buffer contents, oldest first (debugging aid). *)
+
+val submit :
+  t -> ops:Rt_workload.Mix.op list -> k:(outcome -> unit) -> unit
+(** Run a transaction with this site as coordinator.  [k] fires exactly
+    once, when the outcome is known at the coordinator. *)
+
+(** {1 Interactive transactions}
+
+    The batch [submit] executes a fixed operation list; interactive
+    transactions let application code compute later operations from
+    earlier reads (read-modify-write), which is what real clients need
+    for e.g. balance transfers.  The handle is single-threaded: issue one
+    operation at a time and wait for its continuation. *)
+
+type txn
+
+val begin_txn : t -> txn option
+(** [None] when the site is down or catching up. *)
+
+val txn_read :
+  t -> txn -> key:string ->
+  k:((string option, abort_reason) Result.t -> unit) -> unit
+(** [Ok None] means the key does not exist.  [Error r]: the transaction
+    has been aborted (resources already released); stop using the
+    handle. *)
+
+val txn_write :
+  t -> txn -> key:string -> value:string ->
+  k:((unit, abort_reason) Result.t -> unit) -> unit
+
+val txn_commit : t -> txn -> k:(outcome -> unit) -> unit
+(** Run the configured atomic-commitment protocol over every site the
+    transaction touched. *)
+
+val txn_abort : t -> txn -> unit
+(** Voluntary abort; idempotent, and a no-op after commit. *)
+
+val is_up : t -> bool
+
+val serving : t -> bool
+(** Up and not in the post-recovery catch-up window. *)
+
+val up_view : t -> Ids.site_id list
+(** Sites this site's failure detector believes operational (self
+    included when up). *)
+
+val crash : t -> unit
+(** Power off: volatile state (store, locks, machines, timers) is lost;
+    only the durable log prefix and checkpoints survive. *)
+
+val recover : t -> unit
+(** Restart a crashed site.  Replay takes simulated time; termination for
+    in-doubt transactions and any catch-up transfer start afterwards. *)
+
+val kv : t -> Rt_storage.Kv.t
+(** The live store (test/verification access). *)
+
+val preload : t -> entries:(string * string) list -> unit
+(** Install initial data (version 1) directly into the store and record
+    it as a checkpoint so it survives crashes — the simulated equivalent
+    of a database that existed before the experiment. *)
+
+val wal_forces : t -> int
+
+val log_length : t -> int
+
+val active_participants : t -> int
+
+val participant_debug : t -> string list
+(** One line per unresolved participant transaction (diagnostics). *)
+
+val blocked_participants : t -> int
+(** Participants currently reporting themselves blocked (2PC uncertainty
+    window with a dead coordinator, or quorum-commit minority). *)
+
+val latencies : t -> Rt_metrics.Sample.t
+(** Commit latencies (seconds) of transactions coordinated here. *)

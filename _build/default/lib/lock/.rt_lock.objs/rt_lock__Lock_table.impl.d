@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Format Hashtbl Ids List Rt_types String Wfg

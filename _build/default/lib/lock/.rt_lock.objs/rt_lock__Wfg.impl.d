@@ -1,0 +1,1 @@
+lib/lock/wfg.ml: Ids List Rt_types Set

@@ -1,0 +1,1 @@
+lib/lock/wfg.mli: Ids Rt_types

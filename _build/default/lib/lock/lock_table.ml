@@ -1,0 +1,267 @@
+open Rt_types
+module Tid = Ids.Txn_id
+
+type mode = Shared | Exclusive
+
+let pp_mode fmt = function
+  | Shared -> Format.pp_print_string fmt "S"
+  | Exclusive -> Format.pp_print_string fmt "X"
+
+type request = {
+  txn : Tid.t;
+  mode : mode;
+  upgrade : bool;  (* txn already holds Shared on this key *)
+  on_grant : unit -> unit;
+}
+
+type entry = {
+  mutable holders : (Tid.t * mode) list;
+  mutable waiting : request list;  (* FIFO order: head is next candidate *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  held : string list ref Ids.Txn_map.t;  (* txn -> keys it holds *)
+  waits : string list ref Ids.Txn_map.t;  (* txn -> keys it waits on *)
+}
+
+type outcome = Granted | Waiting
+
+let create () =
+  {
+    table = Hashtbl.create 256;
+    held = Ids.Txn_map.create 64;
+    waits = Ids.Txn_map.create 64;
+  }
+
+let entry_for t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; waiting = [] } in
+      Hashtbl.add t.table key e;
+      e
+
+let index_add map txn key =
+  match Ids.Txn_map.find_opt map txn with
+  | Some r -> r := key :: !r
+  | None -> Ids.Txn_map.replace map txn (ref [ key ])
+
+let index_remove map txn key =
+  match Ids.Txn_map.find_opt map txn with
+  | Some r ->
+      r := List.filter (fun k -> k <> key) !r;
+      if !r = [] then Ids.Txn_map.remove map txn
+  | None -> ()
+
+let compatible mode holders =
+  match mode with
+  | Shared -> List.for_all (fun (_, m) -> m = Shared) holders
+  | Exclusive -> holders = []
+
+(* Can [r] be granted right now given [e]'s holders?  An upgrade is
+   grantable when the requester is the only holder. *)
+let grantable e r =
+  if r.upgrade then
+    match e.holders with [ (h, Shared) ] -> Tid.equal h r.txn | _ -> false
+  else compatible r.mode e.holders
+
+let do_grant t key e r =
+  if r.upgrade then e.holders <- [ (r.txn, Exclusive) ]
+  else begin
+    e.holders <- (r.txn, r.mode) :: e.holders;
+    index_add t.held r.txn key
+  end
+
+(* After holders change, grant a maximal compatible prefix of the queue.
+   Returns the granted requests in order; callbacks are the caller's to
+   fire (after state is consistent). *)
+let promote t key e =
+  let granted = ref [] in
+  let rec go () =
+    match e.waiting with
+    | r :: rest when grantable e r ->
+        e.waiting <- rest;
+        index_remove t.waits r.txn key;
+        do_grant t key e r;
+        granted := r :: !granted;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  List.rev !granted
+
+let fire granted = List.iter (fun r -> r.on_grant ()) granted
+
+let holds t ~txn ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e -> (
+      match List.filter (fun (h, _) -> Tid.equal h txn) e.holders with
+      | [] -> None
+      | held ->
+          if List.exists (fun (_, m) -> m = Exclusive) held then Some Exclusive
+          else Some Shared)
+
+let acquire t ~txn ~key ~mode ~on_grant =
+  let e = entry_for t key in
+  match holds t ~txn ~key with
+  | Some Exclusive -> Granted
+  | Some Shared when mode = Shared -> Granted
+  | Some Shared ->
+      (* Upgrade request. *)
+      let r = { txn; mode = Exclusive; upgrade = true; on_grant } in
+      if grantable e r && e.waiting = [] then begin
+        do_grant t key e r;
+        Granted
+      end
+      else begin
+        (* Upgrades go to the front: nothing behind the current holders can
+           be granted before the upgrade anyway, and queue-jumping avoids
+           an immediate deadlock with ordinary waiters. *)
+        e.waiting <- r :: e.waiting;
+        index_add t.waits txn key;
+        Waiting
+      end
+  | None ->
+      let r = { txn; mode; upgrade = false; on_grant } in
+      if e.waiting = [] && grantable e r then begin
+        do_grant t key e r;
+        Granted
+      end
+      else begin
+        e.waiting <- e.waiting @ [ r ];
+        index_add t.waits txn key;
+        Waiting
+      end
+
+let release_all t ~txn =
+  (* Remove queued requests first so they cannot be spuriously granted.
+     Dropping a queued request can itself unblock compatible waiters that
+     were queued behind it (e.g. readers behind a cancelled writer), so
+     these keys must be re-promoted too. *)
+  let waited_keys =
+    match Ids.Txn_map.find_opt t.waits txn with
+    | None -> []
+    | Some keys ->
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt t.table key with
+            | None -> ()
+            | Some e ->
+                e.waiting <-
+                  List.filter (fun r -> not (Tid.equal r.txn txn)) e.waiting)
+          !keys;
+        Ids.Txn_map.remove t.waits txn;
+        !keys
+  in
+  (* Then drop held locks and promote waiters. *)
+  let held_keys =
+    match Ids.Txn_map.find_opt t.held txn with
+    | None -> []
+    | Some keys ->
+        Ids.Txn_map.remove t.held txn;
+        !keys
+  in
+  let all_granted =
+    List.concat_map
+      (fun key ->
+        match Hashtbl.find_opt t.table key with
+        | None -> []
+        | Some e ->
+            e.holders <-
+              List.filter (fun (h, _) -> not (Tid.equal h txn)) e.holders;
+            let granted = promote t key e in
+            if e.holders = [] && e.waiting = [] then Hashtbl.remove t.table key;
+            granted)
+      (List.sort_uniq String.compare (held_keys @ waited_keys))
+  in
+  fire all_granted
+
+let holders t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some e -> List.rev e.holders
+
+let waiters t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some e -> List.map (fun r -> (r.txn, r.mode)) e.waiting
+
+let is_waiting t ~txn = Ids.Txn_map.mem t.waits txn
+
+let held_keys t ~txn =
+  match Ids.Txn_map.find_opt t.held txn with
+  | None -> []
+  | Some keys -> List.sort_uniq String.compare !keys
+
+let conflicts a b =
+  match (a, b) with Shared, Shared -> false | _ -> true
+
+let blocking t ~txn =
+  match Ids.Txn_map.find_opt t.waits txn with
+  | None -> []
+  | Some keys ->
+      List.concat_map
+        (fun key ->
+          match Hashtbl.find_opt t.table key with
+          | None -> []
+          | Some e -> (
+              (* Find txn's request and everything ahead of it. *)
+              let rec split ahead = function
+                | [] -> None
+                | r :: rest ->
+                    if Tid.equal r.txn txn then Some (r, ahead)
+                    else split (r :: ahead) rest
+              in
+              match split [] e.waiting with
+              | None -> []
+              | Some (r, ahead) ->
+                  let holders =
+                    List.filter_map
+                      (fun (h, m) ->
+                        if (not (Tid.equal h txn)) && conflicts r.mode m then
+                          Some h
+                        else None)
+                      e.holders
+                  in
+                  let queued =
+                    List.filter_map
+                      (fun r' ->
+                        if conflicts r.mode r'.mode then Some r'.txn else None)
+                      ahead
+                  in
+                  holders @ queued))
+        (List.sort_uniq String.compare !keys)
+      |> List.sort_uniq Tid.compare
+
+let wait_for_graph t =
+  let g = Wfg.create () in
+  Hashtbl.iter
+    (fun _key e ->
+      let rec walk ahead = function
+        | [] -> ()
+        | r :: rest ->
+            (* Wait on incompatible holders... *)
+            List.iter
+              (fun (h, m) ->
+                if (not (Tid.equal h r.txn)) && conflicts r.mode m then
+                  Wfg.add_edge g r.txn h)
+              e.holders;
+            (* ...and on incompatible requests queued ahead (FIFO). *)
+            List.iter
+              (fun r' ->
+                if conflicts r.mode r'.mode then Wfg.add_edge g r.txn r'.txn)
+              ahead;
+            walk (r :: ahead) rest
+      in
+      walk [] e.waiting)
+    t.table;
+  g
+
+let detect_deadlock ?policy t =
+  match Wfg.find_cycle (wait_for_graph t) with
+  | None -> None
+  | Some cycle -> Some (Wfg.victim ?policy cycle)
+
+let locked_keys t = Hashtbl.length t.table

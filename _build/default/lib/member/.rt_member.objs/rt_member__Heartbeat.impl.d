@@ -1,0 +1,1 @@
+lib/member/heartbeat.ml: Engine Hashtbl Ids Int List Rt_sim Rt_types Time

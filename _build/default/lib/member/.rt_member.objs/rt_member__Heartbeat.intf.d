@@ -1,0 +1,1 @@
+lib/member/heartbeat.mli: Engine Ids Rt_sim Rt_types Time

@@ -1,0 +1,1 @@
+lib/member/view.ml: Format Ids Int List Rt_types String

@@ -1,0 +1,1 @@
+lib/member/view.mli: Format Ids Rt_types

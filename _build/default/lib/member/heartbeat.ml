@@ -1,0 +1,91 @@
+open Rt_sim
+open Rt_types
+
+type peer_state = { mutable last_heard : Time.t; mutable up : bool }
+
+type t = {
+  engine : Engine.t;
+  self : Ids.site_id;
+  peers : (Ids.site_id, peer_state) Hashtbl.t;
+  interval : Time.t;
+  miss_threshold : int;
+  send_beat : Ids.site_id -> unit;
+  on_down : Ids.site_id -> unit;
+  on_up : Ids.site_id -> unit;
+  mutable running : bool;
+  mutable epoch : int;  (* invalidates scheduled ticks after stop *)
+}
+
+let create engine ~self ~peers ~interval ~miss_threshold ~send_beat ~on_down
+    ~on_up =
+  if miss_threshold < 1 then invalid_arg "Heartbeat: miss_threshold >= 1";
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if p <> self then
+        Hashtbl.replace table p { last_heard = Engine.now engine; up = true })
+    peers;
+  {
+    engine;
+    self;
+    peers = table;
+    interval;
+    miss_threshold;
+    send_beat;
+    on_down;
+    on_up;
+    running = false;
+    epoch = 0;
+  }
+
+let check t =
+  let now = Engine.now t.engine in
+  let deadline = t.miss_threshold * t.interval in
+  Hashtbl.iter
+    (fun peer st ->
+      if st.up && Time.sub now st.last_heard > deadline then begin
+        st.up <- false;
+        t.on_down peer
+      end)
+    t.peers
+
+let rec tick t epoch () =
+  if t.running && t.epoch = epoch then begin
+    Hashtbl.iter (fun peer _ -> t.send_beat peer) t.peers;
+    check t;
+    ignore (Engine.schedule_after t.engine t.interval (tick t epoch))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.epoch <- t.epoch + 1;
+    (* Reset suspicion so a restarted site gives peers a full window. *)
+    let now = Engine.now t.engine in
+    Hashtbl.iter (fun _ st -> st.last_heard <- now) t.peers;
+    tick t t.epoch ()
+  end
+
+let stop t =
+  t.running <- false;
+  t.epoch <- t.epoch + 1
+
+let beat_received t ~from =
+  match Hashtbl.find_opt t.peers from with
+  | None -> ()
+  | Some st ->
+      st.last_heard <- Engine.now t.engine;
+      if not st.up then begin
+        st.up <- true;
+        t.on_up from
+      end
+
+let is_up t site =
+  if site = t.self then t.running
+  else match Hashtbl.find_opt t.peers site with
+    | Some st -> st.up
+    | None -> false
+
+let up_peers t =
+  Hashtbl.fold (fun p st acc -> if st.up then p :: acc else acc) t.peers []
+  |> List.sort Int.compare

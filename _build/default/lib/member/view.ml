@@ -1,0 +1,30 @@
+open Rt_types
+
+type t = {
+  mutable id : int;
+  mutable members : Ids.site_id list;  (* sorted *)
+  mutable callbacks : (int -> Ids.site_id list -> unit) list;  (* reversed *)
+}
+
+let create ~members =
+  { id = 1; members = List.sort_uniq Int.compare members; callbacks = [] }
+
+let id t = t.id
+let members t = t.members
+
+let update t ~up =
+  let up = List.sort_uniq Int.compare up in
+  if up = t.members then false
+  else begin
+    t.id <- t.id + 1;
+    t.members <- up;
+    List.iter (fun f -> f t.id t.members) (List.rev t.callbacks);
+    true
+  end
+
+let contains t site = List.mem site t.members
+let on_change t f = t.callbacks <- f :: t.callbacks
+
+let pp fmt t =
+  Format.fprintf fmt "view %d {%s}" t.id
+    (String.concat "," (List.map string_of_int t.members))

@@ -1,0 +1,31 @@
+(** Monotone membership views.
+
+    A view is a numbered snapshot of the sites believed operational.
+    Feeding successive up-sets (typically from {!Heartbeat}) produces a
+    new view exactly when membership changes; view numbers only grow.
+    Protocol layers can use the view id as a cheap epoch for fencing
+    stale messages. *)
+
+open Rt_types
+
+type t
+
+val create : members:Ids.site_id list -> t
+(** View 1 contains the initial members. *)
+
+val id : t -> int
+
+val members : t -> Ids.site_id list
+(** Sorted. *)
+
+val update : t -> up:Ids.site_id list -> bool
+(** Install a new membership; returns [true] (and bumps the id) iff it
+    differs from the current one. *)
+
+val contains : t -> Ids.site_id -> bool
+
+val on_change : t -> (int -> Ids.site_id list -> unit) -> unit
+(** Register a callback invoked after each change with the new id and
+    member list.  Multiple callbacks are invoked in registration order. *)
+
+val pp : Format.formatter -> t -> unit

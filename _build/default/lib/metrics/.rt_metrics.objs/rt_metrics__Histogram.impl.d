@@ -1,0 +1,1 @@
+lib/metrics/histogram.ml: Float Hashtbl Int List Option Stdlib

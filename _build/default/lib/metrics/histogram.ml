@@ -1,0 +1,94 @@
+type t = {
+  precision : float;
+  log_base : float;  (* log (1 + precision) *)
+  buckets : (int, int) Hashtbl.t;  (* bucket index -> count *)
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create ?(precision = 0.02) () =
+  if precision <= 0. then invalid_arg "Histogram.create: precision must be > 0";
+  {
+    precision;
+    log_base = log (1. +. precision);
+    buckets = Hashtbl.create 256;
+    n = 0;
+    sum = 0.;
+    minv = infinity;
+    maxv = neg_infinity;
+  }
+
+let bucket_of t x =
+  if x <= 0. then min_int else int_of_float (Float.floor (log x /. t.log_base))
+
+let value_of t b =
+  if b = min_int then 0.
+  else begin
+    (* Midpoint of the bucket [base^b, base^(b+1)). *)
+    let lo = exp (float_of_int b *. t.log_base) in
+    let hi = lo *. (1. +. t.precision) in
+    (lo +. hi) /. 2.
+  end
+
+let add t x =
+  let b = bucket_of t x in
+  let prev = Option.value (Hashtbl.find_opt t.buckets b) ~default:0 in
+  Hashtbl.replace t.buckets b (prev + 1);
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let min t = if t.n = 0 then 0. else t.minv
+let max t = if t.n = 0 then 0. else t.maxv
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of range";
+  let sorted =
+    Hashtbl.fold (fun b c acc -> (b, c) :: acc) t.buckets []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let target = Stdlib.max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.n))) in
+  let rec go acc = function
+    | [] -> t.maxv
+    | (b, c) :: rest ->
+        let acc = acc + c in
+        if acc >= target then
+          (* Clamp the estimate into the observed range for stability. *)
+          Float.min t.maxv (Float.max t.minv (value_of t b))
+        else go acc rest
+  in
+  go 0 sorted
+
+let merge a b =
+  if a.precision <> b.precision then
+    invalid_arg "Histogram.merge: mismatched precision";
+  let t = create ~precision:a.precision () in
+  let blend src =
+    Hashtbl.iter
+      (fun bk c ->
+        let prev = Option.value (Hashtbl.find_opt t.buckets bk) ~default:0 in
+        Hashtbl.replace t.buckets bk (prev + c))
+      src.buckets;
+    t.n <- t.n + src.n;
+    t.sum <- t.sum +. src.sum;
+    if src.n > 0 then begin
+      if src.minv < t.minv then t.minv <- src.minv;
+      if src.maxv > t.maxv then t.maxv <- src.maxv
+    end
+  in
+  blend a;
+  blend b;
+  t
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.n <- 0;
+  t.sum <- 0.;
+  t.minv <- infinity;
+  t.maxv <- neg_infinity

@@ -1,0 +1,32 @@
+(** Log-bucketed histogram for latency-style positive values.
+
+    Buckets grow geometrically so that relative error is bounded by the
+    configured precision while memory stays constant regardless of sample
+    count.  Good for long simulations where storing every observation would
+    be wasteful. *)
+
+type t
+
+val create : ?precision:float -> unit -> t
+(** [precision] is the per-bucket relative width (default 0.02, i.e. 2%
+    quantile error). *)
+
+val add : t -> float -> unit
+(** Adds a sample.  Non-positive samples land in the underflow bucket. *)
+
+val count : t -> int
+
+val mean : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+val percentile : t -> float -> float
+(** Bucket-midpoint estimate of the [p]-th percentile, [p] in [0, 100].
+    Raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** Both histograms must share the same precision. *)
+
+val clear : t -> unit

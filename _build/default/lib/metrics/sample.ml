@@ -1,0 +1,82 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = [||]; size = 0; sorted = true }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ndata = Array.make ncap 0. in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+let is_empty t = t.size = 0
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0. t
+let mean t = if t.size = 0 then 0. else total t /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t in
+    sqrt (ss /. float_of_int t.size)
+  end
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.size in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let min t =
+  if t.size = 0 then invalid_arg "Sample.min: empty";
+  ensure_sorted t;
+  t.data.(0)
+
+let max t =
+  if t.size = 0 then invalid_arg "Sample.max: empty";
+  ensure_sorted t;
+  t.data.(t.size - 1)
+
+let percentile t p =
+  if t.size = 0 then invalid_arg "Sample.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Sample.percentile: p out of range";
+  ensure_sorted t;
+  (* Nearest-rank definition: ceil(p/100 * n), 1-indexed. *)
+  let rank = int_of_float (Float.round (ceil (p /. 100. *. float_of_int t.size))) in
+  let rank = Stdlib.max 1 rank in
+  t.data.(rank - 1)
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    add t a.data.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add t b.data.(i)
+  done;
+  t
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0;
+  t.sorted <- true

@@ -1,0 +1,52 @@
+type row = Cells of string list | Rule
+
+type t = { columns : string list; mutable rows : row list (* reversed *) }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.columns :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells)
+    all_cell_rows;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    let extra = widths.(i) - String.length s in
+    s ^ String.make (Stdlib.max 0 extra) ' '
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let rule () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  emit_cells t.columns;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output.
+
+    Renders aligned columns with a header rule, matching the row/series
+    layout of the paper's tables so outputs can be compared side by side. *)
+
+type t
+
+val create : columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Row length must match the column count. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell with fixed decimals (default 2). *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Format Rng Rt_sim Time

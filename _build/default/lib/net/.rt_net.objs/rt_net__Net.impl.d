@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Engine Hashtbl Latency Partition Printf Rng Rt_sim Time

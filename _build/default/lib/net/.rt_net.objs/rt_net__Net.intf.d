@@ -1,0 +1,1 @@
+lib/net/net.mli: Engine Latency Partition Rng Rt_sim

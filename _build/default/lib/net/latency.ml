@@ -1,0 +1,26 @@
+open Rt_sim
+
+type t =
+  | Fixed of Time.t
+  | Uniform of Time.t * Time.t
+  | Exponential of { min : Time.t; mean : Time.t }
+
+let sample t rng =
+  match t with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.uniform_time rng ~lo ~hi
+  | Exponential { min; mean } ->
+      let tail = Time.sub mean min in
+      let tail = if tail < 0 then 0 else tail in
+      Time.add min (Rng.exponential_time rng ~mean:tail)
+
+let mean = function
+  | Fixed d -> d
+  | Uniform (lo, hi) -> (lo + hi) / 2
+  | Exponential { mean; _ } -> mean
+
+let pp fmt = function
+  | Fixed d -> Format.fprintf fmt "fixed(%a)" Time.pp d
+  | Uniform (lo, hi) -> Format.fprintf fmt "uniform(%a,%a)" Time.pp lo Time.pp hi
+  | Exponential { min; mean } ->
+      Format.fprintf fmt "exp(min=%a,mean=%a)" Time.pp min Time.pp mean

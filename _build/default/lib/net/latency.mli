@@ -1,0 +1,17 @@
+(** Message-latency models for simulated links. *)
+
+open Rt_sim
+
+type t =
+  | Fixed of Time.t  (** Constant delay. *)
+  | Uniform of Time.t * Time.t  (** Uniform in [lo, hi]. *)
+  | Exponential of { min : Time.t; mean : Time.t }
+      (** [min] plus an exponential with mean [mean - min]; the common model
+          for datacenter/LAN round trips with a long tail. *)
+
+val sample : t -> Rng.t -> Time.t
+
+val mean : t -> Time.t
+(** Expected value of the distribution, for analytic checks. *)
+
+val pp : Format.formatter -> t -> unit

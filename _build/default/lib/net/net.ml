@@ -1,0 +1,133 @@
+open Rt_sim
+
+type node_id = int
+type link = { latency : Latency.t; drop : float; duplicate : float }
+
+let reliable_link latency = { latency; drop = 0.; duplicate = 0. }
+
+module Stats = struct
+  type t = {
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable duplicated : int;
+  }
+
+  let create () = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 }
+end
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  fifo : bool;
+  default : link;
+  overrides : (node_id * node_id, link) Hashtbl.t;
+  handlers : (src:node_id -> 'msg -> unit) option array;
+  part : Partition.t;
+  (* Per-link virtual "last scheduled delivery" used to enforce FIFO. *)
+  last_delivery : (node_id * node_id, Time.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let create ?(fifo = true) ?seed_rng engine ~nodes ~default =
+  if nodes <= 0 then invalid_arg "Net.create: nodes must be positive";
+  let rng =
+    match seed_rng with Some r -> r | None -> Rng.split (Engine.rng engine)
+  in
+  {
+    engine;
+    rng;
+    fifo;
+    default;
+    overrides = Hashtbl.create 16;
+    handlers = Array.make nodes None;
+    part = Partition.create ~nodes;
+    last_delivery = Hashtbl.create 64;
+    stats = Stats.create ();
+  }
+
+let nodes t = Array.length t.handlers
+let engine t = t.engine
+let partition t = t.part
+
+let check_node t n =
+  if n < 0 || n >= Array.length t.handlers then
+    invalid_arg (Printf.sprintf "Net: node %d out of range" n)
+
+let set_link t ~src ~dst link =
+  check_node t src;
+  check_node t dst;
+  Hashtbl.replace t.overrides (src, dst) link
+
+let link_for t ~src ~dst =
+  match Hashtbl.find_opt t.overrides (src, dst) with
+  | Some l -> l
+  | None -> t.default
+
+let register t n handler =
+  check_node t n;
+  t.handlers.(n) <- Some handler
+
+let unregister t n =
+  check_node t n;
+  t.handlers.(n) <- None
+
+let deliver t ~src ~dst msg () =
+  if Partition.connected t.part src dst then
+    match t.handlers.(dst) with
+    | Some handler ->
+        t.stats.delivered <- t.stats.delivered + 1;
+        handler ~src msg
+    | None -> t.stats.dropped <- t.stats.dropped + 1
+  else t.stats.dropped <- t.stats.dropped + 1
+
+let schedule_delivery t ~src ~dst msg =
+  let link = link_for t ~src ~dst in
+  let delay = Latency.sample link.latency t.rng in
+  let arrive = Time.add (Engine.now t.engine) delay in
+  let arrive =
+    if not t.fifo then arrive
+    else begin
+      let key = (src, dst) in
+      let floor =
+        match Hashtbl.find_opt t.last_delivery key with
+        | Some last -> Time.max arrive last
+        | None -> arrive
+      in
+      Hashtbl.replace t.last_delivery key floor;
+      floor
+    end
+  in
+  ignore (Engine.schedule_at t.engine arrive (deliver t ~src ~dst msg))
+
+let send t ~src ~dst msg =
+  check_node t src;
+  check_node t dst;
+  t.stats.sent <- t.stats.sent + 1;
+  if not (Partition.connected t.part src dst) then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let link = link_for t ~src ~dst in
+    if link.drop > 0. && Rng.bernoulli t.rng ~p:link.drop then
+      t.stats.dropped <- t.stats.dropped + 1
+    else begin
+      schedule_delivery t ~src ~dst msg;
+      if link.duplicate > 0. && Rng.bernoulli t.rng ~p:link.duplicate then begin
+        t.stats.duplicated <- t.stats.duplicated + 1;
+        schedule_delivery t ~src ~dst msg
+      end
+    end
+  end
+
+let broadcast t ~src msg =
+  for dst = 0 to nodes t - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.sent <- 0;
+  t.stats.delivered <- 0;
+  t.stats.dropped <- 0;
+  t.stats.duplicated <- 0

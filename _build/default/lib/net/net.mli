@@ -1,0 +1,66 @@
+(** Simulated message-passing network.
+
+    Nodes are dense integer ids.  A message sent on a link is delivered to
+    the destination's registered handler after a sampled latency, unless the
+    link drops it or a partition separates the endpoints (checked both at
+    send and at delivery time, so in-flight messages are lost when a
+    partition forms).  Links may optionally be FIFO, in which case delivery
+    order matches send order per (src, dst) pair. *)
+
+open Rt_sim
+
+type node_id = int
+
+type link = {
+  latency : Latency.t;
+  drop : float;  (** Probability a message is silently lost. *)
+  duplicate : float;  (** Probability a message is delivered twice. *)
+}
+
+val reliable_link : Latency.t -> link
+(** A link with the given latency and no faults. *)
+
+type 'msg t
+
+val create :
+  ?fifo:bool -> ?seed_rng:Rng.t -> Engine.t -> nodes:int -> default:link -> 'msg t
+(** [create engine ~nodes ~default] builds a network of [nodes] nodes whose
+    links all use [default].  [fifo] (default [true]) enforces per-link FIFO
+    delivery.  The RNG is split from the engine's root RNG unless
+    [seed_rng] is given. *)
+
+val nodes : 'msg t -> int
+
+val engine : 'msg t -> Engine.t
+
+val partition : 'msg t -> Partition.t
+(** The network's partition state; mutate it to inject partitions. *)
+
+val set_link : 'msg t -> src:node_id -> dst:node_id -> link -> unit
+(** Override the link used for messages from [src] to [dst]. *)
+
+val register : 'msg t -> node_id -> (src:node_id -> 'msg -> unit) -> unit
+(** Install the delivery handler for a node, replacing any previous one. *)
+
+val unregister : 'msg t -> node_id -> unit
+
+val send : 'msg t -> src:node_id -> dst:node_id -> 'msg -> unit
+(** Fire-and-forget message send.  Sending to self is delivered after the
+    link latency like any other message. *)
+
+val broadcast : 'msg t -> src:node_id -> 'msg -> unit
+(** Send to every node except [src]. *)
+
+(** Exact tallies for experiment reporting. *)
+module Stats : sig
+  type t = {
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;  (** Lost to link faults or partitions. *)
+    mutable duplicated : int;
+  }
+end
+
+val stats : 'msg t -> Stats.t
+
+val reset_stats : 'msg t -> unit

@@ -1,0 +1,48 @@
+type node_id = int
+type t = { component : int array; mutable next_component : int }
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Partition.create: nodes must be positive";
+  { component = Array.make nodes 0; next_component = 1 }
+
+let nodes t = Array.length t.component
+
+let check_node t n =
+  if n < 0 || n >= Array.length t.component then
+    invalid_arg (Printf.sprintf "Partition: node %d out of range" n)
+
+let split t groups =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      let c = t.next_component in
+      t.next_component <- t.next_component + 1;
+      List.iter
+        (fun n ->
+          check_node t n;
+          if Hashtbl.mem seen n then
+            invalid_arg (Printf.sprintf "Partition.split: node %d listed twice" n);
+          Hashtbl.add seen n ();
+          t.component.(n) <- c)
+        group)
+    groups
+
+let isolate t n =
+  check_node t n;
+  t.component.(n) <- t.next_component;
+  t.next_component <- t.next_component + 1
+
+let heal t = Array.fill t.component 0 (Array.length t.component) 0
+
+let connected t a b =
+  check_node t a;
+  check_node t b;
+  t.component.(a) = t.component.(b)
+
+let component_of t n =
+  check_node t n;
+  t.component.(n)
+
+let is_split t =
+  let c0 = t.component.(0) in
+  Array.exists (fun c -> c <> c0) t.component

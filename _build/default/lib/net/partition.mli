@@ -1,0 +1,30 @@
+(** Dynamic network partitions.
+
+    A partition assigns every node to a component; messages are delivered
+    only between nodes in the same component.  The default state is fully
+    connected. *)
+
+type t
+
+type node_id = int
+
+val create : nodes:int -> t
+
+val nodes : t -> int
+
+val split : t -> node_id list list -> unit
+(** [split t groups] places each listed group in its own component.  Nodes
+    not mentioned keep component 0.  Raises [Invalid_argument] if a node id
+    is out of range or listed twice. *)
+
+val isolate : t -> node_id -> unit
+(** Put one node alone in a fresh component. *)
+
+val heal : t -> unit
+(** Restore full connectivity. *)
+
+val connected : t -> node_id -> node_id -> bool
+
+val component_of : t -> node_id -> int
+
+val is_split : t -> bool

@@ -1,0 +1,1 @@
+lib/quorum/availability.ml: Array Votes

@@ -1,0 +1,1 @@
+lib/quorum/coterie.ml: Ids Int List Rt_types Votes

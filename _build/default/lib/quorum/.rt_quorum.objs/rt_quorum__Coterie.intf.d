@@ -1,0 +1,1 @@
+lib/quorum/coterie.mli: Ids Rt_types Votes

@@ -1,0 +1,1 @@
+lib/quorum/votes.ml: Array Format Int List String

@@ -1,0 +1,1 @@
+lib/quorum/votes.mli: Format Ids Rt_types

@@ -1,0 +1,43 @@
+let check_p p =
+  if p < 0. || p > 1. then invalid_arg "Availability: p out of [0,1]"
+
+let quorum_availability ~votes ~threshold ~p =
+  check_p p;
+  let n = Votes.sites votes in
+  if n > 20 then invalid_arg "Availability: too many sites to enumerate";
+  let v = Votes.votes votes in
+  let total = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let sum = ref 0 and prob = ref 1. in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        sum := !sum + v.(i);
+        prob := !prob *. p
+      end
+      else prob := !prob *. (1. -. p)
+    done;
+    if !sum >= threshold then total := !total +. !prob
+  done;
+  !total
+
+let read_availability votes ~p =
+  quorum_availability ~votes ~threshold:(Votes.read_quorum votes) ~p
+
+let write_availability votes ~p =
+  quorum_availability ~votes ~threshold:(Votes.write_quorum votes) ~p
+
+let txn_availability votes ~p =
+  let t = max (Votes.read_quorum votes) (Votes.write_quorum votes) in
+  quorum_availability ~votes ~threshold:t ~p
+
+let rowa_write ~sites ~p =
+  check_p p;
+  p ** float_of_int sites
+
+let rowa_read ~sites ~p =
+  check_p p;
+  1. -. ((1. -. p) ** float_of_int sites)
+
+let available_copies_write ~sites ~p = rowa_read ~sites ~p
+
+let majority_txn ~sites ~p = txn_availability (Votes.majority ~sites) ~p

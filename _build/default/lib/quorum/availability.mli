@@ -1,0 +1,32 @@
+(** Closed-form availability analysis for replica-control schemes.
+
+    Sites fail independently; each is up with probability [p].  The
+    availability of an operation is the probability that the set of up
+    sites contains a quorum for it.  These formulas generate Table T3 and
+    are cross-checked against simulation in experiment F4. *)
+
+val quorum_availability : votes:Votes.t -> threshold:int -> p:float -> float
+(** Probability that the up-site set musters [threshold] votes.  Exact
+    (enumerates site subsets; fine for ≤ 20 sites). *)
+
+val read_availability : Votes.t -> p:float -> float
+
+val write_availability : Votes.t -> p:float -> float
+
+val txn_availability : Votes.t -> p:float -> float
+(** Probability that both a read and a write quorum exist, i.e. that an
+    update transaction can run.  Since quorums are monotone in the up-set,
+    this equals the availability of the larger threshold. *)
+
+val rowa_write : sites:int -> p:float -> float
+(** Read-one/write-all write availability: all sites must be up. *)
+
+val rowa_read : sites:int -> p:float -> float
+(** At least one site up. *)
+
+val available_copies_write : sites:int -> p:float -> float
+(** Available-copies writes succeed while at least one copy is up (failures
+    are detected and masked); equals [rowa_read]. *)
+
+val majority_txn : sites:int -> p:float -> float
+(** Update availability under one-vote-per-site majority quorums. *)

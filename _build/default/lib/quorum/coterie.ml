@@ -1,0 +1,62 @@
+open Rt_types
+
+type quorum = Ids.site_id list
+type t = { quorums : quorum list }
+
+let normalise_quorum q =
+  match List.sort_uniq Int.compare q with
+  | [] -> invalid_arg "Coterie: empty quorum"
+  | q -> q
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let of_quorums qs =
+  if qs = [] then invalid_arg "Coterie.of_quorums: empty family";
+  let qs = List.map normalise_quorum qs |> List.sort_uniq compare in
+  (* Minimality: drop any quorum that strictly contains another. *)
+  let minimal =
+    List.filter
+      (fun q ->
+        not (List.exists (fun q' -> q' <> q && subset q' q) qs))
+      qs
+  in
+  { quorums = minimal }
+
+let quorums t = t.quorums
+
+let subsets_of n =
+  (* All subsets of 0..n-1 as sorted lists, by increasing bitmask. *)
+  let rec members mask i acc =
+    if i >= n then List.rev acc
+    else members mask (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  List.init (1 lsl n) (fun mask -> members mask 0 [])
+
+let quorums_of_votes votes ~threshold =
+  let n = Votes.sites votes in
+  if n > 20 then invalid_arg "Coterie: too many sites to enumerate";
+  subsets_of n
+  |> List.filter (fun s -> s <> [] && Votes.vote_count votes s >= threshold)
+  |> of_quorums
+
+let read_quorums_of_votes v = quorums_of_votes v ~threshold:(Votes.read_quorum v)
+let write_quorums_of_votes v = quorums_of_votes v ~threshold:(Votes.write_quorum v)
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+let pairwise_intersecting t =
+  let rec go = function
+    | [] -> true
+    | q :: rest -> List.for_all (intersects q) rest && go rest
+  in
+  go t.quorums
+
+let cross_intersecting a b =
+  List.for_all (fun qa -> List.for_all (intersects qa) b.quorums) a.quorums
+
+let min_quorum_size t =
+  List.fold_left (fun acc q -> min acc (List.length q)) max_int t.quorums
+
+let contains_quorum t available =
+  let available = List.sort_uniq Int.compare available in
+  List.exists (fun q -> subset q available) t.quorums

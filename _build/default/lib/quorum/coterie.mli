@@ -1,0 +1,37 @@
+(** Coteries: explicit sets of quorums.
+
+    A coterie is a family of pairwise-intersecting site sets, none of which
+    contains another.  Vote assignments induce coteries; representing them
+    explicitly allows checking intersection properties and comparing
+    schemes (used by the quorum tests and the F6 crossover analysis). *)
+
+open Rt_types
+
+type quorum = Ids.site_id list
+(** Sorted, duplicate-free. *)
+
+type t
+
+val of_quorums : quorum list -> t
+(** Normalises (sorts, dedups, removes supersets).  Raises
+    [Invalid_argument] on an empty family or an empty quorum. *)
+
+val quorums : t -> quorum list
+
+val read_quorums_of_votes : Votes.t -> t
+(** All minimal read quorums induced by a vote assignment (enumerates
+    subsets; intended for small site counts). *)
+
+val write_quorums_of_votes : Votes.t -> t
+
+val pairwise_intersecting : t -> bool
+(** Every pair of quorums shares a site — required of write coteries. *)
+
+val cross_intersecting : t -> t -> bool
+(** Every quorum of the first intersects every quorum of the second —
+    the read/write intersection property. *)
+
+val min_quorum_size : t -> int
+
+val contains_quorum : t -> Ids.site_id list -> bool
+(** Do the given (available) sites contain some quorum? *)

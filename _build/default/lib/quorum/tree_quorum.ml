@@ -1,0 +1,76 @@
+let sites ~degree ~height =
+  if degree < 2 then invalid_arg "Tree_quorum: degree must be >= 2";
+  if height < 0 then invalid_arg "Tree_quorum: height must be >= 0";
+  let rec go level acc width =
+    if level > height then acc else go (level + 1) (acc + width) (width * degree)
+  in
+  go 0 0 1
+
+(* Children of [v] in the breadth-first numbering. *)
+let children ~degree v = List.init degree (fun i -> (degree * v) + i + 1)
+
+(* All (not necessarily minimal) quorums of the subtree rooted at [v] at
+   the given remaining height. *)
+let rec quorums_of ~degree ~height v =
+  if height = 0 then [ [ v ] ]
+  else begin
+    let kids = children ~degree v in
+    let kid_quorums =
+      List.map (fun c -> quorums_of ~degree ~height:(height - 1) c) kids
+    in
+    (* Intersection arithmetic: with-root quorums take k = ceil(d/2)
+       child subtrees and rootless ones take m = floor(d/2)+1, so that
+       k+m > d (rooted meets rootless in a common subtree) and 2m > d
+       (rootless pairs overlap).  For binary trees this is the classical
+       "root plus one child's quorum, or both children's quorums". *)
+    let k_with_root = (degree + 1) / 2 in
+    let m_without = (degree / 2) + 1 in
+    (* Cross product of quorum choices from a list of child subtrees. *)
+    let rec cross = function
+      | [] -> [ [] ]
+      | qs :: rest ->
+          let tails = cross rest in
+          List.concat_map (fun q -> List.map (fun t -> q @ t) tails) qs
+    in
+    (* Choose [k] of the child subtrees. *)
+    let rec choose k list =
+      if k = 0 then [ [] ]
+      else
+        match list with
+        | [] -> []
+        | x :: rest ->
+            List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
+    in
+    let with_root =
+      choose k_with_root kid_quorums
+      |> List.concat_map cross
+      |> List.map (fun q -> v :: q)
+    in
+    let without_root = List.concat_map cross (choose m_without kid_quorums) in
+    with_root @ without_root
+  end
+
+let coterie ~degree ~height =
+  if sites ~degree ~height > 15 then
+    invalid_arg "Tree_quorum.coterie: tree too large to enumerate";
+  Coterie.of_quorums (quorums_of ~degree ~height 0)
+
+let min_quorum_size ~degree ~height =
+  Coterie.min_quorum_size (coterie ~degree ~height)
+
+let availability ~degree ~height ~p =
+  let n = sites ~degree ~height in
+  let c = coterie ~degree ~height in
+  let total = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let prob = ref 1. and up = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        prob := !prob *. p;
+        up := i :: !up
+      end
+      else prob := !prob *. (1. -. p)
+    done;
+    if Coterie.contains_quorum c !up then total := !total +. !prob
+  done;
+  !total

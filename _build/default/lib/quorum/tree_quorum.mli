@@ -1,0 +1,23 @@
+(** Tree quorums (Agrawal & El Abbadi).
+
+    Sites are arranged in a complete tree of the given degree and height
+    (numbered breadth-first, root = 0).  A quorum for a subtree is either
+    its root plus quorums from ⌈d/2⌉ of its children, or — when the root
+    is down — quorums from ⌊d/2⌋+1 of its children.  For binary trees the
+    failure-free case yields quorums of logarithmic size (a root-to-leaf
+    path), degrading gracefully toward majority-like sets as sites fail,
+    while always remaining pairwise intersecting. *)
+
+val sites : degree:int -> height:int -> int
+(** Number of nodes in the complete tree. *)
+
+val coterie : degree:int -> height:int -> Coterie.t
+(** All minimal tree quorums.  [degree ≥ 2], [height ≥ 0]; intended for
+    small trees (≤ 15 sites) where enumeration is cheap. *)
+
+val min_quorum_size : degree:int -> height:int -> int
+(** Size of the cheapest quorum (root-to-leaf style path): O(height). *)
+
+val availability : degree:int -> height:int -> p:float -> float
+(** Probability that the up-set contains some tree quorum, sites failing
+    independently with up-probability [p]. *)

@@ -1,0 +1,84 @@
+
+type t = {
+  votes : int array;
+  total : int;
+  read_quorum : int;
+  write_quorum : int;
+}
+
+let make ~votes ~read_quorum ~write_quorum =
+  if Array.exists (fun v -> v < 0) votes then
+    invalid_arg "Votes.make: negative vote";
+  let total = Array.fold_left ( + ) 0 votes in
+  if total = 0 then invalid_arg "Votes.make: no votes";
+  if read_quorum <= 0 || write_quorum <= 0 then
+    invalid_arg "Votes.make: quorums must be positive";
+  if read_quorum + write_quorum <= total then
+    invalid_arg "Votes.make: r + w must exceed total votes";
+  if 2 * write_quorum <= total then
+    invalid_arg "Votes.make: 2w must exceed total votes";
+  if read_quorum > total || write_quorum > total then
+    invalid_arg "Votes.make: quorum exceeds total votes";
+  { votes = Array.copy votes; total; read_quorum; write_quorum }
+
+let majority ~sites =
+  if sites <= 0 then invalid_arg "Votes.majority";
+  let q = (sites / 2) + 1 in
+  make ~votes:(Array.make sites 1) ~read_quorum:q ~write_quorum:q
+
+let read_one_write_all ~sites =
+  if sites <= 0 then invalid_arg "Votes.read_one_write_all";
+  make ~votes:(Array.make sites 1) ~read_quorum:1 ~write_quorum:sites
+
+let read_all_write_one ~sites =
+  if sites <= 0 then invalid_arg "Votes.read_all_write_one";
+  make ~votes:(Array.make sites 1) ~read_quorum:sites ~write_quorum:1
+
+let uniform ~sites ~read_quorum =
+  if sites <= 0 then invalid_arg "Votes.uniform";
+  let w = max (sites - read_quorum + 1) ((sites / 2) + 1) in
+  make ~votes:(Array.make sites 1) ~read_quorum ~write_quorum:w
+
+let sites t = Array.length t.votes
+let votes t = Array.copy t.votes
+let total t = t.total
+let read_quorum t = t.read_quorum
+let write_quorum t = t.write_quorum
+
+let vote_count t site_list =
+  List.sort_uniq Int.compare site_list
+  |> List.fold_left
+       (fun acc s ->
+         if s < 0 || s >= Array.length t.votes then
+           invalid_arg "Votes.vote_count: site out of range"
+         else acc + t.votes.(s))
+       0
+
+let read_ok t site_list = vote_count t site_list >= t.read_quorum
+let write_ok t site_list = vote_count t site_list >= t.write_quorum
+
+let min_set t ~up ~threshold =
+  (* Greedy: take up sites in descending vote order (id breaks ties) until
+     the threshold is met.  Optimal for cardinality because votes are
+     interchangeable within the sum. *)
+  let candidates =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) t.votes)
+    |> List.filter (fun (i, v) -> v > 0 && up i)
+    |> List.sort (fun (i1, v1) (i2, v2) ->
+           let c = Int.compare v2 v1 in
+           if c <> 0 then c else Int.compare i1 i2)
+  in
+  let rec go acc sum = function
+    | _ when sum >= threshold -> Some (List.rev acc)
+    | [] -> None
+    | (i, v) :: rest -> go (i :: acc) (sum + v) rest
+  in
+  go [] 0 candidates
+
+let min_read_set t ~up = min_set t ~up ~threshold:t.read_quorum
+let min_write_set t ~up = min_set t ~up ~threshold:t.write_quorum
+
+let pp fmt t =
+  Format.fprintf fmt "votes=[%s] r=%d w=%d/%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.votes)))
+    t.read_quorum t.write_quorum t.total

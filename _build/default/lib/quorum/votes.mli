@@ -1,0 +1,57 @@
+(** Weighted voting (Gifford 1979) vote assignments and quorum thresholds.
+
+    Each site holds a number of votes; a read needs [read_quorum] votes and
+    a write needs [write_quorum] votes.  Correctness requires
+    [read_quorum + write_quorum > total] (every read quorum intersects
+    every write quorum) and [2 * write_quorum > total] (any two write
+    quorums intersect), which {!make} enforces. *)
+
+open Rt_types
+
+type t
+
+val make : votes:int array -> read_quorum:int -> write_quorum:int -> t
+(** Raises [Invalid_argument] if a vote is negative, the total is zero, or
+    the intersection constraints are violated. *)
+
+val majority : sites:int -> t
+(** One vote per site; ⌈(n+1)/2⌉ for both quorums. *)
+
+val read_one_write_all : sites:int -> t
+(** One vote per site; read quorum 1, write quorum n.  The ROWA limit case
+    of weighted voting. *)
+
+val read_all_write_one : sites:int -> t
+(** The opposite corner: read quorum n, write quorum 1 — *not* a valid
+    general assignment for writes (2w > total fails for n > 1), so this
+    raises for [sites > 1]; exposed for tests documenting the constraint. *)
+
+val uniform : sites:int -> read_quorum:int -> t
+(** One vote per site; write quorum is the smallest value that satisfies
+    both intersection constraints given the read quorum. *)
+
+val sites : t -> int
+
+val votes : t -> int array
+
+val total : t -> int
+
+val read_quorum : t -> int
+
+val write_quorum : t -> int
+
+val vote_count : t -> Ids.site_id list -> int
+(** Sum of votes of the given (deduplicated) sites. *)
+
+val read_ok : t -> Ids.site_id list -> bool
+(** Do these sites muster a read quorum? *)
+
+val write_ok : t -> Ids.site_id list -> bool
+
+val min_read_set : t -> up:(Ids.site_id -> bool) -> Ids.site_id list option
+(** A smallest-cardinality set of up sites forming a read quorum (greedy by
+    descending votes, deterministic tie-break by id), or [None]. *)
+
+val min_write_set : t -> up:(Ids.site_id -> bool) -> Ids.site_id list option
+
+val pp : Format.formatter -> t -> unit

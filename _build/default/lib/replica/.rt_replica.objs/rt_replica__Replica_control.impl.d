@@ -1,0 +1,1 @@
+lib/replica/replica_control.ml: Array Ids Int List Option Printf Rt_quorum Rt_types

@@ -1,0 +1,1 @@
+lib/replica/replica_control.mli: Ids Rt_quorum Rt_types

@@ -1,0 +1,101 @@
+open Rt_types
+
+type t =
+  | Rowa
+  | Available_copies
+  | Quorum of Rt_quorum.Votes.t
+  | Primary_copy of Ids.site_id
+
+let name = function
+  | Rowa -> "ROWA"
+  | Available_copies -> "ROWA-A"
+  | Quorum v ->
+      Printf.sprintf "Quorum(r=%d,w=%d)" (Rt_quorum.Votes.read_quorum v)
+        (Rt_quorum.Votes.write_quorum v)
+  | Primary_copy p -> Printf.sprintf "Primary(%d)" p
+
+let rowa = Rowa
+let available_copies = Available_copies
+let majority ~sites = Quorum (Rt_quorum.Votes.majority ~sites)
+
+let quorum ~read_quorum ~write_quorum ~sites =
+  Quorum
+    (Rt_quorum.Votes.make ~votes:(Array.make sites 1) ~read_quorum
+       ~write_quorum)
+
+let primary p = Primary_copy p
+
+let all_up ~up ~sites =
+  List.filter up (List.init sites (fun i -> i))
+
+(* Prefer reading locally; fall back to the lowest up site. *)
+let one_up ~self ~up ~sites =
+  if up self then Some [ self ]
+  else
+    match all_up ~up ~sites with [] -> None | s :: _ -> Some [ s ]
+
+(* Put [self] first among quorum candidates so local copies are preferred
+   (Votes.min_*_set picks greedily by votes then id, which is already
+   deterministic; we only need to bias toward self for the common
+   one-vote-per-site case). *)
+let quorum_set pick v ~self ~up =
+  (* Try to force self into the set by asking with self marked as the
+     only "cheap" site: compute the set normally; if self is up and not
+     included while some other site is, swap one equal-vote site out. *)
+  match pick v ~up with
+  | None -> None
+  | Some set ->
+      if (not (up self)) || List.mem self set then Some set
+      else
+        let votes = Rt_quorum.Votes.votes v in
+        let self_votes = votes.(self) in
+        let swappable =
+          List.find_opt (fun s -> votes.(s) = self_votes) (List.rev set)
+        in
+        (match swappable with
+        | Some s ->
+            Some (List.sort Int.compare (self :: List.filter (( <> ) s) set))
+        | None -> Some set)
+
+(* Primary-copy succession: if the configured primary is down, the lowest
+   up site acts as primary.  (Like all primary-succession schemes without
+   consensus, a detector disagreement can briefly yield two acting
+   primaries; quorum consensus is the partition-safe alternative.) *)
+let acting_primary p ~up ~sites =
+  if up p then Some p
+  else List.find_opt up (List.init sites (fun i -> i))
+
+let read_plan t ~self ~up ~sites =
+  match t with
+  | Rowa | Available_copies -> one_up ~self ~up ~sites
+  | Quorum v -> quorum_set (fun v ~up -> Rt_quorum.Votes.min_read_set v ~up) v ~self ~up
+  | Primary_copy p ->
+      Option.map (fun a -> [ a ]) (acting_primary p ~up ~sites)
+
+let write_plan t ~self ~up ~sites =
+  match t with
+  | Rowa ->
+      let alive = all_up ~up ~sites in
+      if List.length alive = sites then Some alive else None
+  | Available_copies -> (
+      match all_up ~up ~sites with [] -> None | alive -> Some alive)
+  | Quorum v ->
+      quorum_set (fun v ~up -> Rt_quorum.Votes.min_write_set v ~up) v ~self ~up
+  | Primary_copy p -> (
+      (* Synchronous primary-backup: the acting primary plus every up
+         backup. *)
+      match acting_primary p ~up ~sites with
+      | Some _ -> Some (all_up ~up ~sites)
+      | None -> None)
+
+let read_needs_version_resolution = function
+  | Quorum _ -> true
+  | Rowa | Available_copies | Primary_copy _ -> false
+
+let needs_catchup_on_recovery = function
+  | Available_copies | Rowa | Primary_copy _ -> true
+  | Quorum _ -> false
+
+let tolerates_partitions = function
+  | Quorum _ -> true
+  | Rowa | Available_copies | Primary_copy _ -> false

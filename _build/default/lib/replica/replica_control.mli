@@ -1,0 +1,69 @@
+(** Replica-control protocols as pure planners.
+
+    A replica-control protocol answers three questions for a fully
+    replicated database: which physical copies must a logical read
+    contact, which must a logical write install at, and how are stale
+    copies detected.  The cluster engine does the messaging; these
+    planners make the policy explicit and unit-testable.
+
+    Protocols:
+    - {b ROWA} (read-one/write-all): reads are local, writes must reach
+      every copy — any site down makes updates unavailable.
+    - {b Available copies} (ROWA-A): writes go to every {e up} copy, so
+      updates survive failures; a recovering copy must catch up before it
+      may serve reads again.  Not partition-safe (both sides think the
+      other is down), which experiment F8 demonstrates.
+    - {b Quorum consensus} (weighted voting): reads and writes each
+      gather a vote quorum; version numbers identify the current copy.
+      Partition-safe by quorum intersection.
+    - {b Primary copy}: one distinguished site orders all access; backups
+      receive updates synchronously but serve no reads by default.  If
+      the primary fails, the lowest up site succeeds it (no consensus —
+      detector disagreement can transiently yield two acting primaries,
+      which is the classical argument for quorums).
+
+    A plan is a set of sites, or [None] when the operation is unavailable
+    under the current up-set. *)
+
+open Rt_types
+
+type t =
+  | Rowa
+  | Available_copies
+  | Quorum of Rt_quorum.Votes.t
+  | Primary_copy of Ids.site_id
+
+val name : t -> string
+
+val rowa : t
+
+val available_copies : t
+
+val majority : sites:int -> t
+(** Quorum consensus with one vote per site and majority thresholds. *)
+
+val quorum : read_quorum:int -> write_quorum:int -> sites:int -> t
+
+val primary : Ids.site_id -> t
+
+val read_plan :
+  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) -> sites:int ->
+  Ids.site_id list option
+(** Sites a logical read must contact.  Prefers [self] whenever the
+    protocol allows a local read.  [None]: read unavailable. *)
+
+val write_plan :
+  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) -> sites:int ->
+  Ids.site_id list option
+(** Sites a logical write must install at.  [None]: update unavailable. *)
+
+val read_needs_version_resolution : t -> bool
+(** Quorum reads must compare copy versions and take the newest; the
+    other protocols keep all live copies identical. *)
+
+val needs_catchup_on_recovery : t -> bool
+(** Available-copies (and ROWA after repair) require a recovering copy to
+    validate/catch up from a live copy before serving reads. *)
+
+val tolerates_partitions : t -> bool
+(** Whether concurrent operation on both sides of a partition is safe. *)

@@ -1,0 +1,100 @@
+type event = {
+  fire_at : Time.t;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable n_processed : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_event a b =
+  let c = Time.compare a.fire_at b.fire_at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 0) () =
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    n_processed = 0;
+    queue = Heap.create ~cmp:compare_event;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t when_ thunk =
+  let fire_at = Time.max when_ t.clock in
+  let ev = { fire_at; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule_after t delay thunk = schedule_at t (Time.add t.clock delay) thunk
+let cancel _t ev = ev.cancelled <- true
+let pending t = Heap.length t.queue
+let processed t = t.n_processed
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.fire_at;
+      if not ev.cancelled then begin
+        t.n_processed <- t.n_processed + 1;
+        ev.thunk ()
+      end;
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let continue () =
+    !budget > 0
+    &&
+    match Heap.peek t.queue with
+    | None -> false
+    | Some ev -> (
+        match until with
+        | None -> true
+        | Some horizon -> Time.(ev.fire_at <= horizon))
+  in
+  let same_instant = ref 0 in
+  let last_instant = ref (-1) in
+  while continue () do
+    (match Heap.pop t.queue with
+    | None -> ()
+    | Some ev ->
+        t.clock <- ev.fire_at;
+        if ev.fire_at = !last_instant then begin
+          incr same_instant;
+          if !same_instant > 5_000_000 then
+            failwith
+              "Engine.run: millions of events at a single instant — some \
+               component is rescheduling itself with zero delay"
+        end
+        else begin
+          last_instant := ev.fire_at;
+          same_instant := 0
+        end;
+        if not ev.cancelled then begin
+          t.n_processed <- t.n_processed + 1;
+          decr budget;
+          ev.thunk ()
+        end);
+  done;
+  (* If we stopped because of the horizon, advance the clock to it so that
+     subsequent scheduling is relative to the end of the window. *)
+  match until with
+  | Some horizon when Time.(t.clock < horizon) -> (
+      match Heap.peek t.queue with
+      | Some ev when Time.(ev.fire_at <= horizon) -> ()
+      | _ -> t.clock <- horizon)
+  | _ -> ()

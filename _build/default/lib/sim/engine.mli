@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events.  Events
+    scheduled for the same instant fire in scheduling order, which makes runs
+    deterministic.  All components of the simulated system (network, storage
+    devices, failure injectors, clients) interact only by scheduling events
+    here. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine whose root RNG is seeded with [seed]
+    (default 0). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG.  Components should [Rng.split] it at setup time
+    rather than drawing from it during the run. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+(** [schedule_at t when_ f] runs [f] at virtual time [when_].  If [when_] is
+    in the past, the event fires at the current time. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> event_id
+(** [schedule_after t delay f] runs [f] [delay] after the current time. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    drained). *)
+
+val processed : t -> int
+(** Number of events executed so far. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Execute events in time order until the queue is empty, the clock would
+    pass [until], or [max_events] have been executed.  Events scheduled
+    exactly at [until] do fire. *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] if the queue was
+    empty. *)

@@ -1,0 +1,11 @@
+let src = Logs.Src.create "rt.sim" ~doc:"Replicated-transaction simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let flag = ref false
+let enabled () = !flag
+let set_enabled b = flag := b
+
+let event engine msg =
+  if !flag then
+    Log.debug (fun m -> m "[%a] %s" Time.pp (Engine.now engine) (msg ()))

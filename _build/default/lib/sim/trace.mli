@@ -1,0 +1,15 @@
+(** Lightweight tracing for simulated components.
+
+    Tracing is disabled by default; enabling it routes events through [Logs]
+    with the virtual timestamp prepended.  Useful when debugging protocol
+    interleavings. *)
+
+val src : Logs.src
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val event : Engine.t -> (unit -> string) -> unit
+(** [event engine msg] logs [msg ()] at debug level with the current virtual
+    time.  [msg] is not evaluated when tracing is off. *)

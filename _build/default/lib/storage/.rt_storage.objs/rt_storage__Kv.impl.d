@@ -1,0 +1,1 @@
+lib/storage/kv.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/storage/log_record.ml: Format Ids Kv List Rt_types

@@ -1,0 +1,1 @@
+lib/storage/log_record.mli: Format Ids Kv Rt_types

@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: Ids Kv List Log_record Option Rt_sim Rt_types

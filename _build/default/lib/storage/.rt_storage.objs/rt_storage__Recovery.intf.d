@@ -1,0 +1,1 @@
+lib/storage/recovery.mli: Ids Kv Log_record Rt_sim Rt_types

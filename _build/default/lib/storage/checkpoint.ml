@@ -1,0 +1,23 @@
+type t = {
+  mutable snapshot : ((string * Kv.item) list * Wal.lsn) option;
+  mutable taken : int;
+}
+
+let create () = { snapshot = None; taken = 0 }
+
+let take t ~kv ~lsn =
+  t.snapshot <- Some (Kv.snapshot kv, lsn);
+  t.taken <- t.taken + 1
+
+let latest t = t.snapshot
+
+let restore_latest t kv =
+  match t.snapshot with
+  | None ->
+      Kv.clear kv;
+      0
+  | Some (entries, lsn) ->
+      Kv.restore kv entries;
+      lsn
+
+let count t = t.taken

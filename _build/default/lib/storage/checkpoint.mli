@@ -1,0 +1,26 @@
+(** Checkpoints: durable snapshots of the store paired with the log position
+    they capture.
+
+    Taking a checkpoint lets the log be truncated up to the snapshot's LSN
+    (minus any still-active transactions, which the caller must account
+    for).  The snapshot is modelled as instantaneously durable; its cost
+    shows up in experiments through the log-length/recovery-time trade-off
+    rather than a write stall. *)
+
+type t
+
+val create : unit -> t
+
+val take : t -> kv:Kv.t -> lsn:Wal.lsn -> unit
+(** Record a snapshot of [kv] as of log position [lsn]. *)
+
+val latest : t -> ((string * Kv.item) list * Wal.lsn) option
+(** Most recent snapshot and its LSN, if any. *)
+
+val restore_latest : t -> Kv.t -> Wal.lsn
+(** Load the latest snapshot into the store (clearing it first) and return
+    the LSN recovery should replay from; replays from LSN 1 over an empty
+    store when no checkpoint exists. *)
+
+val count : t -> int
+(** Checkpoints taken so far. *)

@@ -1,0 +1,35 @@
+type version = int
+type item = { value : string; version : version }
+type t = (string, item) Hashtbl.t
+
+let create () = Hashtbl.create 128
+let get t key = Hashtbl.find_opt t key
+
+let version t key =
+  match Hashtbl.find_opt t key with Some { version; _ } -> version | None -> 0
+
+let set t ~key ~value ~version = Hashtbl.replace t key { value; version }
+let remove t key = Hashtbl.remove t key
+let mem t key = Hashtbl.mem t key
+let size t = Hashtbl.length t
+let iter t f = Hashtbl.iter f t
+
+let snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let keys t = List.map fst (snapshot t)
+
+let restore t entries =
+  Hashtbl.reset t;
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) entries
+
+let copy t = Hashtbl.copy t
+
+let equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
+       a true
+
+let clear t = Hashtbl.reset t

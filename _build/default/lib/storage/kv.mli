@@ -1,0 +1,45 @@
+(** Versioned in-memory key-value store.
+
+    Every item carries a version number that replica-control protocols use
+    to detect stale copies (Gifford-style version currents).  Versions are
+    supplied by the caller — the store itself never invents them — so the
+    same engine backs both single-site and replicated deployments. *)
+
+type version = int
+
+type item = { value : string; version : version }
+
+type t
+
+val create : unit -> t
+
+val get : t -> string -> item option
+
+val version : t -> string -> version
+(** Version of the current copy; 0 for a key never written. *)
+
+val set : t -> key:string -> value:string -> version:version -> unit
+
+val remove : t -> string -> unit
+
+val mem : t -> string -> bool
+
+val size : t -> int
+
+val iter : t -> (string -> item -> unit) -> unit
+
+val keys : t -> string list
+(** Sorted, for deterministic iteration in tests. *)
+
+val snapshot : t -> (string * item) list
+(** Sorted association list capturing the full state. *)
+
+val restore : t -> (string * item) list -> unit
+(** Replace the contents with a snapshot. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality of contents (used to check replica convergence). *)
+
+val clear : t -> unit

@@ -1,0 +1,109 @@
+open Rt_sim
+
+type lsn = int
+
+type 'r t = {
+  engine : Engine.t;
+  force_latency : Time.t;
+  mutable records : 'r array;  (* index i holds LSN base + i + 1 *)
+  mutable size : int;
+  mutable base : lsn;  (* number of truncated records *)
+  mutable durable : lsn;
+  mutable waiting : (lsn * (unit -> unit)) list;  (* reversed *)
+  mutable device_busy : bool;
+  mutable epoch : int;  (* bumped on crash to silence in-flight completions *)
+  mutable forces : int;
+}
+
+let create engine ~force_latency () =
+  {
+    engine;
+    force_latency;
+    records = [||];
+    size = 0;
+    base = 0;
+    durable = 0;
+    waiting = [];
+    device_busy = false;
+    epoch = 0;
+    forces = 0;
+  }
+
+let tail_lsn t = t.base + t.size
+let durable_lsn t = t.durable
+let first_lsn t = t.base + 1
+let length t = t.size
+let force_count t = t.forces
+
+let append t r =
+  let cap = Array.length t.records in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nrecords = Array.make ncap r in
+    Array.blit t.records 0 nrecords 0 t.size;
+    t.records <- nrecords
+  end;
+  t.records.(t.size) <- r;
+  t.size <- t.size + 1;
+  tail_lsn t
+
+let fire_satisfied t =
+  let satisfied, still =
+    List.partition (fun (upto, _) -> upto <= t.durable) t.waiting
+  in
+  t.waiting <- still;
+  (* Fire in request order (list is reversed). *)
+  List.iter (fun (_, k) -> k ()) (List.rev satisfied)
+
+let rec start_device_cycle t =
+  t.device_busy <- true;
+  t.forces <- t.forces + 1;
+  let target = tail_lsn t in
+  let epoch = t.epoch in
+  ignore
+    (Engine.schedule_after t.engine t.force_latency (fun () ->
+         if t.epoch = epoch then begin
+           t.device_busy <- false;
+           if target > t.durable then t.durable <- target;
+           fire_satisfied t;
+           (* Anything still waiting targets records appended after this
+              cycle started: run another cycle. *)
+           if t.waiting <> [] then start_device_cycle t
+         end))
+
+let force t ?upto k =
+  let upto = Option.value upto ~default:(tail_lsn t) in
+  if upto <= t.durable then
+    ignore (Engine.schedule_after t.engine Time.zero (fun () -> k ()))
+  else begin
+    t.waiting <- (upto, k) :: t.waiting;
+    if not t.device_busy then start_device_cycle t
+  end
+
+let crash t =
+  t.epoch <- t.epoch + 1;
+  t.device_busy <- false;
+  t.waiting <- [];
+  (* Drop the volatile suffix. *)
+  let keep = t.durable - t.base in
+  t.size <- max 0 keep
+
+let records_from t ~count =
+  List.init count (fun i -> t.records.(i))
+
+let durable_records t = records_from t ~count:(max 0 (t.durable - t.base))
+let all_records t = records_from t ~count:t.size
+
+let truncate t ~upto =
+  if upto > t.durable then invalid_arg "Wal.truncate: beyond durable point";
+  let drop = upto - t.base in
+  if drop > 0 then begin
+    let remaining = t.size - drop in
+    let nrecords =
+      if remaining = 0 then [||]
+      else Array.sub t.records drop remaining
+    in
+    t.records <- nrecords;
+    t.size <- remaining;
+    t.base <- upto
+  end

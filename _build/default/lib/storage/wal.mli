@@ -1,0 +1,54 @@
+(** Write-ahead log over a simulated stable-storage device.
+
+    Appends go to a volatile buffer; a {!force} starts a device write that
+    takes the configured latency and, on completion, makes every record
+    appended before the force started durable.  Forces issued while the
+    device is busy coalesce into the next cycle, which yields group commit
+    for free.  A {!crash} discards the non-durable suffix and silences any
+    outstanding completion callbacks.
+
+    The record type is a parameter so the same engine backs both database
+    logs and protocol-state logs in tests. *)
+
+open Rt_sim
+
+type 'r t
+
+val create : Engine.t -> force_latency:Time.t -> unit -> 'r t
+
+type lsn = int
+(** Log sequence numbers are 1-based; 0 means "nothing". *)
+
+val append : 'r t -> 'r -> lsn
+
+val tail_lsn : 'r t -> lsn
+(** LSN of the last appended record. *)
+
+val durable_lsn : 'r t -> lsn
+
+val force : 'r t -> ?upto:lsn -> (unit -> unit) -> unit
+(** [force t ~upto k] calls [k] once every record with LSN ≤ [upto]
+    (default: current tail) is durable.  If they already are, [k] runs
+    via a zero-delay event.  Callbacks are dropped if the site crashes
+    first. *)
+
+val crash : 'r t -> unit
+(** Lose the non-durable suffix and all pending force callbacks. *)
+
+val durable_records : 'r t -> 'r list
+(** Durable records in LSN order (after any truncation point). *)
+
+val all_records : 'r t -> 'r list
+(** Durable plus still-volatile records, in order. *)
+
+val truncate : 'r t -> upto:lsn -> unit
+(** Discard records with LSN ≤ [upto]; numbering is preserved. *)
+
+val first_lsn : 'r t -> lsn
+(** LSN of the earliest retained record; [tail_lsn + 1] if empty. *)
+
+val length : 'r t -> int
+(** Number of retained records. *)
+
+val force_count : 'r t -> int
+(** Device force cycles completed so far (the forced-write cost measure). *)

@@ -1,0 +1,35 @@
+(** Identifiers shared across the whole system. *)
+
+type site_id = int
+(** Dense site (replica) index, also the network node id. *)
+
+val pp_site : Format.formatter -> site_id -> unit
+
+(** Globally unique transaction identifiers.
+
+    A transaction is named by its origin site and a per-site sequence
+    number; the start timestamp is embedded so that age-based policies
+    (wound-wait victim selection, timestamp ordering) need no extra
+    lookup.  Ordering is by [(start_ts, origin, seq)]: older transactions
+    compare smaller, with site/sequence as a deterministic tie-break. *)
+module Txn_id : sig
+  type t = { origin : site_id; seq : int; start_ts : Rt_sim.Time.t }
+
+  val make : origin:site_id -> seq:int -> start_ts:Rt_sim.Time.t -> t
+
+  val compare : t -> t -> int
+  (** Total order; smaller means older (higher priority). *)
+
+  val equal : t -> t -> bool
+
+  val older : t -> t -> bool
+  (** [older a b] iff [a] started strictly earlier in the total order. *)
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+end
+
+module Txn_map : Hashtbl.S with type key = Txn_id.t

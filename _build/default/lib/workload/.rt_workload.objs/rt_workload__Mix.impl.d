@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Hashtbl Int List Printf Rt_sim String Zipf

@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: Rt_sim

@@ -1,0 +1,20 @@
+(** Zipf-distributed key sampling.
+
+    [theta] controls skew: 0 is uniform, 0.99 is the YCSB default, larger
+    values concentrate accesses on fewer keys.  Sampling is by binary
+    search over a precomputed CDF (O(log n) per draw, exact). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [n] ranks (1-based internally); [theta ≥ 0]. *)
+
+val sample : t -> Rt_sim.Rng.t -> int
+(** A rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val n : t -> int
+
+val theta : t -> float
+
+val pmf : t -> int -> float
+(** Probability of the given rank. *)

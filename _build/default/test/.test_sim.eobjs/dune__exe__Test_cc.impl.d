@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Engine History Ids List Occ Option Printf QCheck QCheck_alcotest Rt_cc Rt_sim Rt_storage Rt_types Rt_workload Time Timestamp_order Two_phase_locking Workbench

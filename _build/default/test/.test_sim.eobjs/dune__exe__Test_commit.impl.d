@@ -1,0 +1,1 @@
+test/test_commit.ml: Alcotest Array List Printf Protocol QCheck QCheck_alcotest Rt_commit Sandbox String Two_pc

@@ -1,0 +1,1 @@
+test/test_commit_steps.ml: Alcotest List Protocol Quorum_commit Rt_commit Three_pc Two_pc

@@ -1,0 +1,1 @@
+test/test_commit_steps.mli:

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Client Cluster Config Engine List Option Printf Rt_commit Rt_core Rt_replica Rt_sim Rt_storage Rt_workload Site Time

@@ -1,0 +1,1 @@
+test/test_interactive.ml: Alcotest Cluster Config Engine List Option Printf Rng Rt_core Rt_replica Rt_sim Rt_storage Rt_workload Site Time

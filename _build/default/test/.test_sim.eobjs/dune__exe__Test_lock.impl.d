@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array Ids List Lock_table Printf QCheck QCheck_alcotest Rt_lock Rt_sim Rt_types String Time Wfg

@@ -1,0 +1,1 @@
+test/test_member.ml: Alcotest Array Engine Heartbeat List Rt_member Rt_sim Time View

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Counter Gen Histogram List Printf QCheck QCheck_alcotest Rt_metrics Rt_sim Sample String Table

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine Latency List Net Partition QCheck QCheck_alcotest Rng Rt_net Rt_sim Time

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Availability Coterie List Printf QCheck QCheck_alcotest Rt_quorum String Tree_quorum Votes

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest List QCheck QCheck_alcotest Replica_control Rt_quorum Rt_replica

@@ -1,0 +1,1 @@
+test/test_sandbox.ml: Alcotest List Printf Protocol Rt_commit Sandbox String Two_pc

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine Heap Int List Printf QCheck QCheck_alcotest Rng Rt_sim String Time

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Checkpoint Engine Gen Ids Kv List Log_record Printf QCheck QCheck_alcotest Recovery Rt_sim Rt_storage Rt_types Time Wal

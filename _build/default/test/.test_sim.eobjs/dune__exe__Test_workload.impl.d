@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Mix Printf QCheck QCheck_alcotest Rng Rt_sim Rt_workload String Zipf

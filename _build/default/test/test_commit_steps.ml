@@ -1,0 +1,308 @@
+(* Step-level tests of the commitment machines: exact action sequences
+   for canonical input orders.  These pin the protocol definitions down
+   more tightly than the schedule-randomizing sandbox. *)
+
+open Rt_commit
+open Protocol
+
+let timeouts = default_timeouts
+
+let action = Alcotest.testable pp_action (fun a b -> a = b)
+
+(* --- 2PC coordinator (presumed abort) ----------------------------------- *)
+
+let test_pra_coordinator_commit_walk () =
+  let c =
+    Two_pc.coordinator ~variant:Two_pc.Presumed_abort ~participants:[ 0; 1; 2 ]
+      ~timeouts
+  in
+  (* Start: vote requests to everyone plus the collection timer. *)
+  let c, actions = Two_pc.coord_step c Start in
+  Alcotest.(check (list action)) "start actions"
+    [ Send (0, Vote_req); Send (1, Vote_req); Send (2, Vote_req);
+      Set_timer (T_votes, timeouts.vote_collect) ]
+    actions;
+  (* Two yes votes: nothing observable. *)
+  let c, actions = Two_pc.coord_step c (Recv (0, Vote_yes)) in
+  Alcotest.(check (list action)) "quiet while collecting" [] actions;
+  let c, actions = Two_pc.coord_step c (Recv (1, Vote_yes)) in
+  Alcotest.(check (list action)) "still quiet" [] actions;
+  Alcotest.(check bool) "no decision yet" true (Two_pc.coord_decision c = None);
+  (* Final yes: force the commit record. *)
+  let c, actions = Two_pc.coord_step c (Recv (2, Vote_yes)) in
+  Alcotest.(check (list action)) "commit logged"
+    [ Clear_timer T_votes; Log (L_decision Commit, `Forced) ]
+    actions;
+  (* Durable: distribute, await acks. *)
+  let c, actions = Two_pc.coord_step c (Log_done (L_decision Commit)) in
+  Alcotest.(check (list action)) "distribution"
+    [ Send (0, Decision_msg Commit); Send (1, Decision_msg Commit);
+      Send (2, Decision_msg Commit);
+      Set_timer (T_resend, timeouts.resend_every); Deliver Commit ]
+    actions;
+  (* Acks close the book with a lazy end record. *)
+  let c, _ = Two_pc.coord_step c (Recv (0, Decision_ack)) in
+  let c, _ = Two_pc.coord_step c (Recv (1, Decision_ack)) in
+  let c, actions = Two_pc.coord_step c (Recv (2, Decision_ack)) in
+  Alcotest.(check (list action)) "end record"
+    [ Clear_timer T_resend; Log (L_end, `Lazy) ]
+    actions;
+  Alcotest.(check bool) "done" true (Two_pc.coord_done c)
+
+let test_pra_coordinator_abort_is_lazy () =
+  let c =
+    Two_pc.coordinator ~variant:Two_pc.Presumed_abort ~participants:[ 0; 1 ]
+      ~timeouts
+  in
+  let c, _ = Two_pc.coord_step c Start in
+  let c, _ = Two_pc.coord_step c (Recv (0, Vote_yes)) in
+  let c, actions = Two_pc.coord_step c (Recv (1, Vote_no)) in
+  (* Presumed abort: lazy abort record, notify the yes-voter, no acks,
+     immediate end. *)
+  Alcotest.(check (list action)) "lazy abort"
+    [ Clear_timer T_votes; Log (L_decision Abort, `Lazy);
+      Send (0, Decision_msg Abort); Log (L_end, `Lazy); Deliver Abort ]
+    actions;
+  Alcotest.(check bool) "decision" true
+    (Two_pc.coord_decision c = Some Abort)
+
+let test_prn_coordinator_abort_is_forced_with_acks () =
+  let c =
+    Two_pc.coordinator ~variant:Two_pc.Presumed_nothing ~participants:[ 0; 1 ]
+      ~timeouts
+  in
+  let c, _ = Two_pc.coord_step c Start in
+  let c, _ = Two_pc.coord_step c (Recv (0, Vote_yes)) in
+  let c, actions = Two_pc.coord_step c (Recv (1, Vote_no)) in
+  Alcotest.(check (list action)) "forced abort"
+    [ Clear_timer T_votes; Log (L_decision Abort, `Forced) ]
+    actions;
+  let _, actions = Two_pc.coord_step c (Log_done (L_decision Abort)) in
+  Alcotest.(check (list action)) "abort distributed, acks expected"
+    [ Send (0, Decision_msg Abort);
+      Set_timer (T_resend, timeouts.resend_every); Deliver Abort ]
+    actions
+
+let test_prc_coordinator_forces_collecting_first () =
+  let c =
+    Two_pc.coordinator ~variant:Two_pc.Presumed_commit ~participants:[ 0 ]
+      ~timeouts
+  in
+  let c, actions = Two_pc.coord_step c Start in
+  Alcotest.(check (list action)) "collecting record first"
+    [ Log (L_collecting, `Forced) ]
+    actions;
+  let _, actions = Two_pc.coord_step c (Log_done L_collecting) in
+  Alcotest.(check (list action)) "then votes"
+    [ Send (0, Vote_req); Set_timer (T_votes, timeouts.vote_collect) ]
+    actions
+
+(* --- 2PC participant ----------------------------------------------------- *)
+
+let test_participant_yes_walk () =
+  let p =
+    Two_pc.participant ~variant:Two_pc.Presumed_abort ~self:1 ~coordinator:0
+      ~peers:[ 0; 1; 2 ] ~vote:true ~timeouts ()
+  in
+  let p, actions = Two_pc.part_step p (Recv (0, Vote_req)) in
+  Alcotest.(check (list action)) "prepared forced"
+    [ Log (L_prepared, `Forced) ]
+    actions;
+  let p, actions = Two_pc.part_step p (Log_done L_prepared) in
+  Alcotest.(check (list action)) "vote after durable"
+    [ Send (0, Vote_yes); Set_timer (T_decision, timeouts.decision_wait) ]
+    actions;
+  Alcotest.(check bool) "uncertain" true (Two_pc.part_state p = P_uncertain);
+  let p, actions = Two_pc.part_step p (Recv (0, Decision_msg Commit)) in
+  Alcotest.(check (list action)) "commit forced"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Commit, `Forced) ]
+    actions;
+  let p, actions = Two_pc.part_step p (Log_done (L_decision Commit)) in
+  Alcotest.(check (list action)) "ack + deliver"
+    [ Send (0, Decision_ack); Deliver Commit ]
+    actions;
+  Alcotest.(check bool) "committed" true (Two_pc.part_state p = P_committed)
+
+let test_participant_no_vote_aborts_unilaterally () =
+  let p =
+    Two_pc.participant ~variant:Two_pc.Presumed_abort ~self:1 ~coordinator:0
+      ~peers:[ 0; 1 ] ~vote:false ~timeouts ()
+  in
+  let p, actions = Two_pc.part_step p (Recv (0, Vote_req)) in
+  Alcotest.(check (list action)) "no + local abort"
+    [ Send (0, Vote_no); Log (L_decision Abort, `Lazy); Deliver Abort ]
+    actions;
+  Alcotest.(check bool) "aborted" true (Two_pc.part_state p = P_aborted)
+
+let test_participant_timeout_asks_around () =
+  let p =
+    Two_pc.participant ~variant:Two_pc.Presumed_abort ~self:1 ~coordinator:0
+      ~peers:[ 0; 1; 2 ] ~vote:true ~timeouts ()
+  in
+  let p, _ = Two_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Two_pc.part_step p (Log_done L_prepared) in
+  let p, actions = Two_pc.part_step p (Timeout T_decision) in
+  Alcotest.(check (list action)) "cooperative inquiry + blocked"
+    [ Send (0, Decision_req); Send (2, Decision_req);
+      Set_timer (T_resend, timeouts.resend_every); Blocked ]
+    actions;
+  Alcotest.(check bool) "blocked" true (Two_pc.part_blocked p);
+  (* A peer that knows the answer resolves it. *)
+  let p, actions = Two_pc.part_step p (Recv (2, Decision_msg Abort)) in
+  Alcotest.(check (list action)) "abort is lazy under PrA"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Abort, `Lazy); Deliver Abort ]
+    actions;
+  Alcotest.(check bool) "resolved" true (Two_pc.part_state p = P_aborted)
+
+let test_read_only_participant_forgets () =
+  let p =
+    Two_pc.participant ~read_only:true ~variant:Two_pc.Presumed_abort ~self:1
+      ~coordinator:0 ~peers:[ 0; 1 ] ~vote:true ~timeouts ()
+  in
+  let p, actions = Two_pc.part_step p (Recv (0, Vote_req)) in
+  Alcotest.(check (list action)) "read-only vote and forget"
+    [ Send (0, Vote_read_only); Forget ]
+    actions;
+  (* It knows nothing afterwards. *)
+  let _, actions = Two_pc.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "answers unknown"
+    [ Send (2, Decision_unknown) ]
+    actions
+
+(* --- 3PC ------------------------------------------------------------------ *)
+
+let test_3pc_walk () =
+  let c = Three_pc.coordinator ~participants:[ 0; 1 ] ~timeouts in
+  let c, _ = Three_pc.coord_step c Start in
+  let c, _ = Three_pc.coord_step c (Recv (0, Vote_yes)) in
+  let c, actions = Three_pc.coord_step c (Recv (1, Vote_yes)) in
+  Alcotest.(check (list action)) "precommit logged first"
+    [ Clear_timer T_votes; Log (L_precommit, `Forced) ]
+    actions;
+  let c, actions = Three_pc.coord_step c (Log_done L_precommit) in
+  Alcotest.(check (list action)) "precommit round"
+    [ Send (0, Precommit_msg); Send (1, Precommit_msg);
+      Set_timer (T_precommit_ack, timeouts.decision_wait) ]
+    actions;
+  let c, _ = Three_pc.coord_step c (Recv (0, Precommit_ack)) in
+  let c, actions = Three_pc.coord_step c (Recv (1, Precommit_ack)) in
+  Alcotest.(check (list action)) "commit after all acks"
+    [ Clear_timer T_precommit_ack; Log (L_decision Commit, `Forced) ]
+    actions;
+  let _, actions = Three_pc.coord_step c (Log_done (L_decision Commit)) in
+  Alcotest.(check (list action)) "commit broadcast, no acks needed"
+    [ Send (0, Decision_msg Commit); Send (1, Decision_msg Commit);
+      Deliver Commit; Log (L_end, `Lazy) ]
+    actions
+
+let test_3pc_participant_precommit_phase () =
+  let p =
+    Three_pc.participant ~self:1 ~coordinator:0 ~all:[ 0; 1; 2 ] ~vote:true
+      ~timeouts
+  in
+  let p, _ = Three_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Three_pc.part_step p (Log_done L_prepared) in
+  let p, actions = Three_pc.part_step p (Recv (0, Precommit_msg)) in
+  Alcotest.(check (list action)) "precommit forced"
+    [ Clear_timer T_decision; Log (L_precommit, `Forced) ]
+    actions;
+  let p, actions = Three_pc.part_step p (Log_done L_precommit) in
+  Alcotest.(check (list action)) "ack precommit"
+    [ Send (0, Precommit_ack); Set_timer (T_decision, timeouts.decision_wait) ]
+    actions;
+  Alcotest.(check bool) "precommitted" true
+    (Three_pc.part_state p = P_precommitted)
+
+(* --- quorum commit epochs -------------------------------------------------- *)
+
+let test_qc_participant_rejects_stale_epochs () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  let p =
+    Quorum_commit.participant ~config ~self:1 ~coordinator:0 ~vote:true
+      ~timeouts
+  in
+  let p, _ = Quorum_commit.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Quorum_commit.part_step p (Log_done L_prepared) in
+  (* Accept the original coordinator's epoch-0 precommit. *)
+  let p, actions = Quorum_commit.part_step p (Recv (0, Pq_precommit (0, 0))) in
+  Alcotest.(check (list action)) "epoch 0 accepted"
+    [ Clear_timer T_decision; Log (L_precommit, `Forced) ]
+    actions;
+  let p, _ = Quorum_commit.part_step p (Log_done L_precommit) in
+  (* A later leader at a higher epoch re-drives: re-acked at that epoch. *)
+  let p, actions = Quorum_commit.part_step p (Recv (2, Pq_precommit (1, 2))) in
+  Alcotest.(check (list action)) "re-ack at higher epoch"
+    [ Send (2, Pq_precommit_ack (1, 2)) ]
+    actions;
+  (* A stale epoch-0 pre-abort attempt is ignored entirely. *)
+  let _, actions = Quorum_commit.part_step p (Recv (0, Pq_preabort (0, 0))) in
+  Alcotest.(check (list action)) "stale epoch ignored" [] actions
+
+let test_qc_coordinator_commits_at_quorum () =
+  let config =
+    Quorum_commit.config ~all:[ 0; 1; 2; 3; 4 ] ~commit_quorum:3
+      ~abort_quorum:3 ()
+  in
+  let c = Quorum_commit.coordinator ~config ~self:0 ~timeouts in
+  let c, _ = Quorum_commit.coord_step c Start in
+  let c =
+    List.fold_left
+      (fun c s -> fst (Quorum_commit.coord_step c (Recv (s, Vote_yes))))
+      c [ 0; 1; 2; 3; 4 ]
+  in
+  let c, _ = Quorum_commit.coord_step c (Log_done L_precommit) in
+  (* Two acks: below Vc=3, still waiting. *)
+  let c, _ = Quorum_commit.coord_step c (Recv (0, Pq_precommit_ack (0, 0))) in
+  let c, actions = Quorum_commit.coord_step c (Recv (1, Pq_precommit_ack (0, 0))) in
+  Alcotest.(check (list action)) "below quorum: wait" [] actions;
+  Alcotest.(check bool) "no decision yet" true
+    (Quorum_commit.coord_decision c = None);
+  (* Third ack reaches the commit quorum: commit without the stragglers. *)
+  let c, actions = Quorum_commit.coord_step c (Recv (2, Pq_precommit_ack (0, 0))) in
+  Alcotest.(check (list action)) "commit at quorum"
+    [ Clear_timer T_precommit_ack; Clear_timer T_resend;
+      Log (L_decision Commit, `Forced) ]
+    actions;
+  Alcotest.(check bool) "decided" true
+    (Quorum_commit.coord_decision c = Some Commit)
+
+let () =
+  Alcotest.run "commit-steps"
+    [
+      ( "2pc-coordinator",
+        [
+          Alcotest.test_case "PrA commit walk" `Quick
+            test_pra_coordinator_commit_walk;
+          Alcotest.test_case "PrA abort is lazy" `Quick
+            test_pra_coordinator_abort_is_lazy;
+          Alcotest.test_case "PrN abort forced with acks" `Quick
+            test_prn_coordinator_abort_is_forced_with_acks;
+          Alcotest.test_case "PrC forces collecting first" `Quick
+            test_prc_coordinator_forces_collecting_first;
+        ] );
+      ( "2pc-participant",
+        [
+          Alcotest.test_case "yes walk" `Quick test_participant_yes_walk;
+          Alcotest.test_case "no vote aborts unilaterally" `Quick
+            test_participant_no_vote_aborts_unilaterally;
+          Alcotest.test_case "timeout asks around" `Quick
+            test_participant_timeout_asks_around;
+          Alcotest.test_case "read-only forgets" `Quick
+            test_read_only_participant_forgets;
+        ] );
+      ( "3pc",
+        [
+          Alcotest.test_case "full walk" `Quick test_3pc_walk;
+          Alcotest.test_case "participant precommit phase" `Quick
+            test_3pc_participant_precommit_phase;
+        ] );
+      ( "quorum-commit",
+        [
+          Alcotest.test_case "epoch guards" `Quick
+            test_qc_participant_rejects_stale_epochs;
+          Alcotest.test_case "commits at quorum" `Quick
+            test_qc_coordinator_commits_at_quorum;
+        ] );
+    ]

@@ -1,0 +1,410 @@
+(* Integration tests for the cluster: end-to-end replicated transactions,
+   replica convergence, conflict handling, crash/recovery, partitions,
+   and the cross-protocol matrix. *)
+
+open Rt_sim
+open Rt_core
+module Mix = Rt_workload.Mix
+
+let ops_w kvs = List.map (fun (k, v) -> Mix.Write (k, v)) kvs
+let ops_r keys = List.map (fun k -> Mix.Read k) keys
+
+let all_commit_protocols =
+  [
+    Config.Two_phase Rt_commit.Two_pc.Presumed_nothing;
+    Config.Two_phase Rt_commit.Two_pc.Presumed_abort;
+    Config.Two_phase Rt_commit.Two_pc.Presumed_commit;
+    Config.Three_phase;
+    Config.Quorum_commit { commit_quorum = None; abort_quorum = None };
+  ]
+
+let mk ?(sites = 3) ?(commit = Config.Two_phase Rt_commit.Two_pc.Presumed_abort)
+    ?(rc = Rt_replica.Replica_control.rowa) ?(seed = 1) () =
+  let config =
+    { (Config.default ~sites ()) with commit_protocol = commit;
+      replica_control = rc; seed }
+  in
+  Cluster.create config
+
+let run_for cluster duration =
+  Cluster.run ~until:(Time.add (Cluster.now cluster) duration) cluster
+
+let run_one cluster ~site ~ops =
+  let result = ref None in
+  Cluster.submit cluster ~site ~ops ~k:(fun o -> result := Some o);
+  run_for cluster (Time.sec 2);
+  !result
+
+let value_at cluster site key =
+  Option.map
+    (fun (i : Rt_storage.Kv.item) -> i.value)
+    (Rt_storage.Kv.get (Site.kv (Cluster.site cluster site)) key)
+
+let check_committed = function
+  | Some Site.Committed -> ()
+  | Some (Site.Aborted r) ->
+      Alcotest.failf "expected commit, got abort (%s)"
+        (Site.abort_reason_label r)
+  | None -> Alcotest.fail "transaction never completed"
+
+(* --- basic write path, per commit protocol --------------------------- *)
+
+let test_commit_replicates commit () =
+  let cluster = mk ~commit () in
+  let outcome =
+    run_one cluster ~site:0 ~ops:(ops_w [ ("x", "1"); ("y", "2") ])
+  in
+  check_committed outcome;
+  for s = 0 to 2 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "x at site %d" s)
+      (Some "1") (value_at cluster s "x");
+    Alcotest.(check (option string))
+      (Printf.sprintf "y at site %d" s)
+      (Some "2") (value_at cluster s "y")
+  done;
+  Alcotest.(check bool) "replicas converged" true (Cluster.converged cluster)
+
+let test_read_after_write () =
+  let cluster = mk () in
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("a", "v") ]));
+  (* A later transaction from a different site reads and commits. *)
+  check_committed (run_one cluster ~site:1 ~ops:(ops_r [ "a" ]));
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster)
+
+let test_sequential_transactions () =
+  let cluster = mk () in
+  for i = 1 to 20 do
+    check_committed
+      (run_one cluster ~site:(i mod 3)
+         ~ops:(ops_w [ ("k", string_of_int i) ]))
+  done;
+  Alcotest.(check (option string)) "final value" (Some "20")
+    (value_at cluster 0 "k");
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster)
+
+(* --- concurrency ------------------------------------------------------ *)
+
+let test_concurrent_disjoint_commit () =
+  let cluster = mk () in
+  let outcomes = ref [] in
+  for i = 0 to 9 do
+    Cluster.submit cluster ~site:(i mod 3)
+      ~ops:(ops_w [ (Printf.sprintf "key%d" i, "v") ])
+      ~k:(fun o -> outcomes := o :: !outcomes)
+  done;
+  run_for cluster (Time.sec 2);
+  Alcotest.(check int) "all completed" 10 (List.length !outcomes);
+  List.iter (fun o -> check_committed (Some o)) !outcomes;
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster)
+
+(* Staggered writers conflict through lock queues and all commit in
+   turn. *)
+let test_conflicting_writes_serialize () =
+  let cluster = mk () in
+  let engine = Cluster.engine cluster in
+  let done_count = ref 0 and committed = ref 0 in
+  for i = 0 to 4 do
+    ignore
+      (Engine.schedule_at engine (Time.ms (2 * i)) (fun () ->
+           Cluster.submit cluster ~site:(i mod 3)
+             ~ops:(ops_w [ ("hot", Printf.sprintf "w%d" i) ])
+             ~k:(fun o ->
+               incr done_count;
+               match o with Site.Committed -> incr committed | _ -> ())))
+  done;
+  run_for cluster (Time.sec 5);
+  Alcotest.(check int) "all completed" 5 !done_count;
+  Alcotest.(check int) "all committed" 5 !committed;
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster);
+  Alcotest.(check (option string)) "last writer wins" (Some "w4")
+    (value_at cluster 0 "hot")
+
+(* Simultaneous writers may all fall to distributed deadlock (resolved by
+   lock-wait timeout, the classical discipline) — but the replicas must
+   stay consistent and any installed value must belong to a committed
+   writer. *)
+let test_conflicting_writes_simultaneous () =
+  let cluster = mk () in
+  let done_count = ref 0 and winners = ref [] in
+  for i = 0 to 4 do
+    let v = Printf.sprintf "w%d" i in
+    Cluster.submit cluster ~site:(i mod 3)
+      ~ops:(ops_w [ ("hot", v) ])
+      ~k:(fun o ->
+        incr done_count;
+        match o with Site.Committed -> winners := v :: !winners | _ -> ())
+  done;
+  run_for cluster (Time.sec 5);
+  Alcotest.(check int) "all completed" 5 !done_count;
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster);
+  match value_at cluster 0 "hot" with
+  | Some v ->
+      Alcotest.(check bool) "final value from a committed writer" true
+        (List.mem v !winners)
+  | None ->
+      Alcotest.(check int) "no value means nobody committed" 0
+        (List.length !winners)
+
+(* --- crash / recovery ------------------------------------------------- *)
+
+let test_crash_and_recover_available_copies () =
+  let rc = Rt_replica.Replica_control.available_copies in
+  let cluster = mk ~rc () in
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("a", "1") ]));
+  Cluster.crash_site cluster 2;
+  run_for cluster (Time.ms 2100);
+  (* Writes continue with a site down under available copies. *)
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("a", "2") ]));
+  (* The crashed site recovers, catches up, and converges. *)
+  Cluster.recover_site cluster 2;
+  run_for cluster (Time.ms 4500);
+  Alcotest.(check bool) "site 2 serving again" true
+    (Site.serving (Cluster.site cluster 2));
+  Alcotest.(check (option string)) "caught up" (Some "2")
+    (value_at cluster 2 "a")
+
+let test_rowa_blocks_when_site_down () =
+  let cluster = mk () in
+  Cluster.crash_site cluster 2;
+  run_for cluster (Time.ms 100);
+  (* ROWA writes need every copy: expect an availability abort. *)
+  match run_one cluster ~site:0 ~ops:(ops_w [ ("a", "1") ]) with
+  | Some (Site.Aborted Site.Unavailable) -> ()
+  | Some Site.Committed -> Alcotest.fail "ROWA write committed with a site down"
+  | Some (Site.Aborted r) ->
+      Alcotest.failf "unexpected abort reason %s" (Site.abort_reason_label r)
+  | None -> Alcotest.fail "no outcome"
+
+let test_quorum_tolerates_minority_crash () =
+  let rc = Rt_replica.Replica_control.majority ~sites:5 in
+  let commit = Config.Quorum_commit { commit_quorum = None; abort_quorum = None } in
+  let cluster = mk ~sites:5 ~rc ~commit () in
+  Cluster.crash_site cluster 3;
+  Cluster.crash_site cluster 4;
+  run_for cluster (Time.ms 100);
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("q", "1") ]))
+
+let test_coordinator_crash_recovery_2pc () =
+  (* Crash the coordinator shortly after submission; surviving
+     participants must terminate consistently once it recovers. *)
+  let cluster = mk ~seed:5 () in
+  let outcome = ref None in
+  Cluster.submit cluster ~site:0 ~ops:(ops_w [ ("a", "1"); ("b", "2") ])
+    ~k:(fun o -> outcome := Some o);
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) (Time.us 400) (fun () ->
+         Cluster.crash_site cluster 0));
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) (Time.ms 50) (fun () ->
+         Cluster.recover_site cluster 0));
+  run_for cluster (Time.sec 3);
+  (* The client was told the site died. *)
+  (match !outcome with
+  | Some (Site.Aborted Site.Site_down) | Some (Site.Aborted Site.Protocol_abort)
+  | Some Site.Committed ->
+      ()
+  | Some (Site.Aborted r) ->
+      Alcotest.failf "unexpected reason %s" (Site.abort_reason_label r)
+  | None -> Alcotest.fail "client never notified");
+  (* No participant stays unresolved once everyone is back. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "no stuck participants at %d" (Site.id s))
+        0
+        (Site.active_participants s))
+    (Cluster.sites cluster);
+  Alcotest.(check bool) "replicas agree" true (Cluster.converged cluster)
+
+(* --- partitions -------------------------------------------------------- *)
+
+let test_partition_quorum_majority_side_continues () =
+  let rc = Rt_replica.Replica_control.majority ~sites:5 in
+  let commit = Config.Quorum_commit { commit_quorum = None; abort_quorum = None } in
+  let cluster = mk ~sites:5 ~rc ~commit ~seed:3 () in
+  Cluster.partition cluster [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  (* Let failure detectors notice. *)
+  run_for cluster (Time.ms 100);
+  (* Majority side commits. *)
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("p", "maj") ]));
+  (* Minority side cannot assemble a write quorum. *)
+  (match run_one cluster ~site:3 ~ops:(ops_w [ ("p", "min") ]) with
+  | Some (Site.Aborted Site.Unavailable) -> ()
+  | Some Site.Committed -> Alcotest.fail "minority committed during partition"
+  | Some (Site.Aborted _) | None -> ());
+  Cluster.heal cluster;
+  run_for cluster (Time.ms 400);
+  (* After healing, a quorum read sees the majority write. *)
+  check_committed (run_one cluster ~site:3 ~ops:(ops_r [ "p" ]))
+
+let test_no_split_brain_under_partition () =
+  (* Under quorum replication + quorum commit, concurrent writes on both
+     sides of a partition can never both commit. *)
+  let rc = Rt_replica.Replica_control.majority ~sites:5 in
+  let commit = Config.Quorum_commit { commit_quorum = None; abort_quorum = None } in
+  let cluster = mk ~sites:5 ~rc ~commit ~seed:11 () in
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("s", "0") ]));
+  Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  run_for cluster (Time.ms 100);
+  let minority = ref None and majority = ref None in
+  Cluster.submit cluster ~site:0 ~ops:(ops_w [ ("s", "minority") ]) ~k:(fun o ->
+      minority := Some o);
+  Cluster.submit cluster ~site:2 ~ops:(ops_w [ ("s", "majority") ]) ~k:(fun o ->
+      majority := Some o);
+  run_for cluster (Time.sec 2);
+  let committed o = o = Some Site.Committed in
+  Alcotest.(check bool) "not both committed" false
+    (committed !minority && committed !majority)
+
+(* --- protocol matrix under load ---------------------------------------- *)
+
+let test_matrix_protocol_load commit rc_name rc () =
+  let config =
+    { (Config.default ~sites:3 ()) with
+      commit_protocol = commit;
+      replica_control = rc;
+      seed = 17 }
+  in
+  let cluster = Cluster.create config in
+  let mix = { Mix.default with keys = 50; ops_per_txn = 2 } in
+  Cluster.populate cluster mix;
+  let clients = Client.start_fleet ~cluster ~clients:6 ~mix () in
+  run_for cluster (Time.ms 500);
+  List.iter Client.stop clients;
+  run_for cluster (Time.ms 700);
+  let stats = Client.total clients in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s makes progress"
+       (Config.commit_protocol_name commit)
+       rc_name)
+    true
+    (stats.committed > 10);
+  if rc_name <> "quorum" then
+    Alcotest.(check bool) "replicas converged" true (Cluster.converged cluster)
+
+let test_timestamp_mode_load () =
+  (* The distributed timestamp-ordering scheme: progress, convergence,
+     and the lost-update check under contention. *)
+  let config =
+    { (Config.default ~sites:3 ()) with
+      concurrency = Config.Timestamp; seed = 19 }
+  in
+  let cluster = Cluster.create config in
+  let mix = { Mix.default with keys = 40; ops_per_txn = 2; theta = 0.8 } in
+  Cluster.populate cluster mix;
+  let clients = Client.start_fleet ~cluster ~clients:6 ~mix () in
+  run_for cluster (Time.ms 500);
+  List.iter Client.stop clients;
+  run_for cluster (Time.ms 200);
+  let stats = Client.total clients in
+  Alcotest.(check bool) "TO makes progress" true (stats.committed > 50);
+  Alcotest.(check bool) "replicas converged" true (Cluster.converged cluster)
+
+let test_timestamp_rejects_stale_write () =
+  (* A younger transaction reads; an older one then tries to write the
+     same key: basic TO rejects the write (rts rule). *)
+  let config =
+    { (Config.default ~sites:3 ()) with
+      concurrency = Config.Timestamp; seed = 23 }
+  in
+  let cluster = Cluster.create config in
+  let engine = Cluster.engine cluster in
+  check_committed (run_one cluster ~site:0 ~ops:(ops_w [ ("k", "0") ]));
+  let s0 = Cluster.site cluster 0 in
+  (* Old transaction begins (captures its timestamp). *)
+  let old_txn = Option.get (Site.begin_txn s0) in
+  (* A newer transaction reads k and commits. *)
+  let newer_done = ref false in
+  ignore
+    (Engine.schedule_after engine (Time.ms 1) (fun () ->
+         Cluster.submit cluster ~site:1 ~ops:(ops_r [ "k" ]) ~k:(fun o ->
+             newer_done := o = Site.Committed)));
+  run_for cluster (Time.ms 100);
+  Alcotest.(check bool) "newer read committed" true !newer_done;
+  (* The older transaction's write must now be rejected. *)
+  let result = ref None in
+  Site.txn_write s0 old_txn ~key:"k" ~value:"stale" ~k:(fun r ->
+      result := Some r);
+  run_for cluster (Time.ms 100);
+  match !result with
+  | Some (Error Site.Order_conflict) -> ()
+  | Some (Error r) ->
+      Alcotest.failf "unexpected refusal %s" (Site.abort_reason_label r)
+  | Some (Ok ()) -> Alcotest.fail "stale write accepted"
+  | None -> Alcotest.fail "write never answered"
+
+let matrix_cases =
+  List.concat_map
+    (fun commit ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s over ROWA under load"
+             (Config.commit_protocol_name commit))
+          `Quick
+          (test_matrix_protocol_load commit "rowa"
+             Rt_replica.Replica_control.rowa);
+        Alcotest.test_case
+          (Printf.sprintf "%s over majority quorum under load"
+             (Config.commit_protocol_name commit))
+          `Quick
+          (test_matrix_protocol_load commit "quorum"
+             (Rt_replica.Replica_control.majority ~sites:3));
+      ])
+    all_commit_protocols
+
+let commit_cases =
+  List.map
+    (fun commit ->
+      Alcotest.test_case
+        (Printf.sprintf "%s commit replicates"
+           (Config.commit_protocol_name commit))
+        `Quick
+        (test_commit_replicates commit))
+    all_commit_protocols
+
+let () =
+  Alcotest.run "core"
+    [
+      ("commit", commit_cases);
+      ( "basics",
+        [
+          Alcotest.test_case "read after write" `Quick test_read_after_write;
+          Alcotest.test_case "sequential transactions" `Quick
+            test_sequential_transactions;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "disjoint concurrent commits" `Quick
+            test_concurrent_disjoint_commit;
+          Alcotest.test_case "conflicting writes serialize" `Quick
+            test_conflicting_writes_serialize;
+          Alcotest.test_case "simultaneous conflicting writes stay consistent"
+            `Quick test_conflicting_writes_simultaneous;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "crash + recover (available copies)" `Quick
+            test_crash_and_recover_available_copies;
+          Alcotest.test_case "ROWA unavailable when site down" `Quick
+            test_rowa_blocks_when_site_down;
+          Alcotest.test_case "quorum tolerates minority crash" `Quick
+            test_quorum_tolerates_minority_crash;
+          Alcotest.test_case "coordinator crash + recovery" `Quick
+            test_coordinator_crash_recovery_2pc;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "majority side continues" `Quick
+            test_partition_quorum_majority_side_continues;
+          Alcotest.test_case "no split brain" `Quick
+            test_no_split_brain_under_partition;
+        ] );
+      ("matrix", matrix_cases);
+      ( "timestamp-ordering",
+        [
+          Alcotest.test_case "TO under load" `Quick test_timestamp_mode_load;
+          Alcotest.test_case "TO rejects stale write" `Quick
+            test_timestamp_rejects_stale_write;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Deeper cluster tests: checkpointing and log truncation, presumed-commit
+   recovery semantics, random partitions (no-fork property), read-only
+   optimization end to end, and a randomized soak with crashes. *)
+
+open Rt_sim
+open Rt_core
+module Mix = Rt_workload.Mix
+module Kv = Rt_storage.Kv
+
+let run_for cluster d =
+  Cluster.run ~until:(Time.add (Cluster.now cluster) d) cluster
+
+let run_one cluster ~site ~ops =
+  let result = ref None in
+  Cluster.submit cluster ~site ~ops ~k:(fun o -> result := Some o);
+  run_for cluster (Time.sec 2);
+  !result
+
+let check_committed = function
+  | Some Site.Committed -> ()
+  | Some (Site.Aborted r) ->
+      Alcotest.failf "expected commit, got %s" (Site.abort_reason_label r)
+  | None -> Alcotest.fail "no outcome"
+
+let value_at cluster site key =
+  Option.map
+    (fun (i : Kv.item) -> i.value)
+    (Kv.get (Site.kv (Cluster.site cluster site)) key)
+
+(* --- checkpoints -------------------------------------------------------- *)
+
+let test_checkpoint_truncates_and_recovers () =
+  let config =
+    { (Config.default ~sites:3 ()) with checkpoint_every = 5; seed = 3 }
+  in
+  let cluster = Cluster.create config in
+  for i = 1 to 30 do
+    check_committed
+      (run_one cluster ~site:(i mod 3)
+         ~ops:[ Mix.Write (Printf.sprintf "k%d" (i mod 7), string_of_int i) ])
+  done;
+  (* Checkpoints happened and kept the log short. *)
+  let s0 = Cluster.site cluster 0 in
+  Alcotest.(check bool) "log truncated" true (Site.log_length s0 < 60);
+  (* A crash after truncation still recovers the full state. *)
+  let before = Kv.snapshot (Site.kv s0) in
+  Cluster.crash_site cluster 0;
+  run_for cluster (Time.ms 100);
+  Cluster.recover_site cluster 0;
+  run_for cluster (Time.ms 500);
+  Alcotest.(check bool) "serving after recovery" true (Site.serving s0);
+  Alcotest.(check bool) "state identical after restart" true
+    (Kv.snapshot (Site.kv s0) = before)
+
+(* --- presumed-commit recovery ------------------------------------------- *)
+
+let test_prc_collecting_aborts_after_coordinator_crash () =
+  (* Presumed commit force-writes a Collecting record before voting; if
+     the coordinator crashes before any decision, recovery must answer
+     inquiries with ABORT for that transaction (despite the commit
+     presumption for unknown ones). *)
+  let config =
+    { (Config.default ~sites:3 ()) with
+      commit_protocol = Config.Two_phase Rt_commit.Two_pc.Presumed_commit;
+      seed = 13 }
+  in
+  let cluster = Cluster.create config in
+  let outcome = ref None in
+  Cluster.submit cluster ~site:0 ~ops:[ Mix.Write ("x", "1") ] ~k:(fun o ->
+      outcome := Some o);
+  (* Crash the coordinator just after the collecting record is durable
+     but (very likely) before the decision. *)
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) (Time.us 120) (fun () ->
+         Cluster.crash_site cluster 0));
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) (Time.ms 30) (fun () ->
+         Cluster.recover_site cluster 0));
+  run_for cluster (Time.sec 2);
+  (* Whatever happened, all sites agree and nothing is stuck. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "no stuck participants at %d" (Site.id s))
+        0 (Site.active_participants s))
+    (Cluster.sites cluster);
+  Alcotest.(check bool) "replicas agree" true (Cluster.converged cluster)
+
+(* --- read-only optimization end to end ---------------------------------- *)
+
+let test_read_only_optimization_cluster () =
+  let base = { (Config.default ~sites:3 ()) with seed = 5 } in
+  (* A read-only transaction over a majority read quorum involves one
+     remote participant that performs no writes — exactly the case the
+     optimization targets.  Count commit-protocol messages via the
+     cluster counters (heartbeats would otherwise drown the difference). *)
+  let count_msgs config =
+    let cluster = Cluster.create config in
+    check_committed (run_one cluster ~site:0 ~ops:[ Mix.Write ("a", "1") ]);
+    let c = Cluster.counters cluster in
+    let before = Rt_metrics.Counter.get c "commit_protocol_msgs" in
+    check_committed (run_one cluster ~site:0 ~ops:[ Mix.Read "a" ]);
+    (Rt_metrics.Counter.get c "commit_protocol_msgs" - before, cluster)
+  in
+  let rc = Rt_replica.Replica_control.majority ~sites:3 in
+  let off, _ = count_msgs { base with replica_control = rc } in
+  let on, cluster_on =
+    count_msgs { base with replica_control = rc; read_only_optimization = true }
+  in
+  (* Unoptimized: vote-req + vote + decision + ack = 4 cross-site
+     messages; optimized: vote-req + read-only vote = 2. *)
+  Alcotest.(check int) "unoptimized read-only txn" 4 off;
+  Alcotest.(check int) "optimized read-only txn" 2 on;
+  (* Both the remote and the coordinator's local participant were
+     read-only. *)
+  Alcotest.(check int) "read-only releases counted" 2
+    (Rt_metrics.Counter.get (Cluster.counters cluster_on) "readonly_releases");
+  Alcotest.(check (option string)) "state untouched" (Some "1")
+    (value_at cluster_on 0 "a")
+
+(* --- random partitions: no forks under quorum --------------------------- *)
+
+let prop_random_partitions_never_fork =
+  QCheck.Test.make ~name:"quorum control never forks under random partitions"
+    ~count:12
+    QCheck.(pair (int_range 1 1000) (int_range 0 30))
+    (fun (seed, cut) ->
+      let config =
+        { (Config.default ~sites:5 ()) with
+          replica_control = Rt_replica.Replica_control.majority ~sites:5;
+          commit_protocol =
+            Config.Quorum_commit { commit_quorum = None; abort_quorum = None };
+          seed }
+      in
+      let cluster = Cluster.create config in
+      let mix = { Mix.default with keys = 30; ops_per_txn = 2 } in
+      Cluster.populate cluster mix;
+      let fleet =
+        Client.start_fleet ~cluster ~clients:5 ~mix ~retry_aborts:false ()
+      in
+      (* A partition whose split point is randomized, then healed. *)
+      let left = List.init (1 + (cut mod 4)) (fun i -> i) in
+      let right =
+        List.filter (fun s -> not (List.mem s left)) [ 0; 1; 2; 3; 4 ]
+      in
+      Failure.schedule cluster
+        [
+          (Time.ms 50, Failure.Partition [ left; right ]);
+          (Time.ms 250, Failure.Heal);
+        ];
+      Cluster.run ~until:(Time.ms 400) cluster;
+      List.iter Client.stop fleet;
+      Cluster.run ~until:(Time.ms 600) cluster;
+      (* Fork check: no key may carry the same version with different
+         values on two sites. *)
+      let sites = Cluster.sites cluster in
+      let forked = ref false in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              Kv.iter (Site.kv a) (fun key (ia : Kv.item) ->
+                  match Kv.get (Site.kv b) key with
+                  | Some ib ->
+                      if ia.version = ib.version && ia.value <> ib.value then
+                        forked := true
+                  | None -> ()))
+            sites)
+        sites;
+      not !forked)
+
+(* --- soak: random crashes and recoveries, invariants hold --------------- *)
+
+let test_soak_crash_recover_available_copies () =
+  let config =
+    { (Config.default ~sites:3 ()) with
+      replica_control = Rt_replica.Replica_control.available_copies;
+      checkpoint_every = 20;
+      seed = 99 }
+  in
+  let cluster = Cluster.create config in
+  let mix = { Mix.default with keys = 60; ops_per_txn = 3; read_fraction = 0.4 } in
+  Cluster.populate cluster mix;
+  let fleet = Client.start_fleet ~cluster ~clients:6 ~mix () in
+  let proc =
+    Failure.random_crashes cluster ~mttf:(Time.ms 400) ~mttr:(Time.ms 80) ()
+  in
+  Cluster.run ~until:(Time.sec 3) cluster;
+  Failure.stop proc;
+  List.iter Client.stop fleet;
+  (* Let everything recover and drain. *)
+  Array.iteri
+    (fun i s -> if not (Site.is_up s) then Cluster.recover_site cluster i)
+    (Cluster.sites cluster);
+  Cluster.run ~until:(Time.sec 4) cluster;
+  let stats = Client.total fleet in
+  Alcotest.(check bool) "made progress through failures" true
+    (stats.committed > 100);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d serving" (Site.id s))
+        true (Site.serving s);
+      Alcotest.(check int)
+        (Printf.sprintf "site %d no stuck participants" (Site.id s))
+        0 (Site.active_participants s))
+    (Cluster.sites cluster);
+  (* No forks ever (available copies is fork-prone only under
+     partitions, which this soak does not inject). *)
+  Alcotest.(check bool) "replicas converged" true (Cluster.converged cluster)
+
+
+(* --- distributed deadlock probes ---------------------------------------- *)
+
+(* Build a deadlock no single site can see locally: reads lock only the
+   local copy (ROWA), writes lock every copy, and the two wait edges land
+   on different sites. *)
+let cross_site_deadlock ~probe_deadlocks ~seed =
+  let config =
+    { (Config.default ~sites:3 ()) with probe_deadlocks; seed }
+  in
+  let cluster = Cluster.create config in
+  let engine = Cluster.engine cluster in
+  let s0 = Cluster.site cluster 0 and s1 = Cluster.site cluster 1 in
+  check_committed
+    (run_one cluster ~site:2 ~ops:[ Mix.Write ("k1", "0"); Mix.Write ("k2", "0") ]);
+  let started = Cluster.now cluster in
+  let resolved = ref [] in
+  let finish name o =
+    resolved := (name, o, Time.sub (Cluster.now cluster) started) :: !resolved
+  in
+  let drive name site first_read then_write =
+    match Site.begin_txn site with
+    | None -> Alcotest.fail "begin failed"
+    | Some txn ->
+        Site.txn_read site txn ~key:first_read ~k:(function
+          | Error r -> finish name (Site.Aborted r)
+          | Ok _ ->
+              (* Wait until both transactions hold their read locks before
+                 issuing the conflicting writes. *)
+              ignore
+                (Engine.schedule_after engine (Time.ms 2) (fun () ->
+                     Site.txn_write site txn ~key:then_write ~value:name
+                       ~k:(function
+                       | Error r -> finish name (Site.Aborted r)
+                       | Ok () ->
+                           Site.txn_commit site txn ~k:(fun o -> finish name o)))))
+  in
+  drive "A" s0 "k2" "k1";
+  drive "B" s1 "k1" "k2";
+  run_for cluster (Time.sec 1);
+  (cluster, !resolved)
+
+let test_probes_resolve_distributed_deadlock () =
+  let cluster, resolved = cross_site_deadlock ~probe_deadlocks:true ~seed:7 in
+  Alcotest.(check int) "both resolved" 2 (List.length resolved);
+  let aborts =
+    List.filter (fun (_, o, _) -> o <> Site.Committed) resolved
+  in
+  Alcotest.(check bool) "at least one aborted" true (List.length aborts >= 1);
+  (* Probes detect the cycle in a few message delays — far below the
+     20ms lock-wait timeout backstop. *)
+  List.iter
+    (fun (name, _, at) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s resolved before the timeout (%s)" name
+           (Format.asprintf "%a" Time.pp at))
+        true
+        Time.(at < Time.ms 15))
+    resolved;
+  Alcotest.(check bool) "probe deadlock counted" true
+    (Rt_metrics.Counter.get (Cluster.counters cluster) "probe_deadlocks" >= 1)
+
+let test_timeout_resolves_distributed_deadlock_slowly () =
+  let _, resolved = cross_site_deadlock ~probe_deadlocks:false ~seed:7 in
+  Alcotest.(check int) "both resolved" 2 (List.length resolved);
+  (* Without probes the cycle stands until the lock-wait timeout. *)
+  Alcotest.(check bool) "some resolution waited for the timeout" true
+    (List.exists (fun (_, _, at) -> Time.(at >= Time.ms 15)) resolved)
+
+let () =
+  Alcotest.run "core-failures"
+    [
+      ( "checkpoints",
+        [
+          Alcotest.test_case "truncation + recovery" `Quick
+            test_checkpoint_truncates_and_recovers;
+        ] );
+      ( "presumed-commit",
+        [
+          Alcotest.test_case "collecting record forces abort" `Quick
+            test_prc_collecting_aborts_after_coordinator_crash;
+        ] );
+      ( "read-only",
+        [
+          Alcotest.test_case "cluster saves messages" `Quick
+            test_read_only_optimization_cluster;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "probes resolve distributed deadlock fast" `Quick
+            test_probes_resolve_distributed_deadlock;
+          Alcotest.test_case "timeout backstop without probes" `Quick
+            test_timeout_resolves_distributed_deadlock_slowly;
+        ] );
+      ( "partitions",
+        [ QCheck_alcotest.to_alcotest prop_random_partitions_never_fork ] );
+      ( "soak",
+        [
+          Alcotest.test_case "crash/recover soak" `Slow
+            test_soak_crash_recover_available_copies;
+        ] );
+    ]

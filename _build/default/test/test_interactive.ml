@@ -1,0 +1,282 @@
+(* Tests for the interactive transaction API: read-your-writes,
+   read-dependent writes, aborts, conflicts between interactive
+   transactions, and the bank-transfer invariant under concurrency. *)
+
+open Rt_sim
+open Rt_core
+module Mix = Rt_workload.Mix
+module Kv = Rt_storage.Kv
+
+let mk ?(sites = 3) ?(seed = 1) () =
+  Cluster.create { (Config.default ~sites ()) with seed }
+
+let run_for cluster d =
+  Cluster.run ~until:(Time.add (Cluster.now cluster) d) cluster
+
+let value_at cluster site key =
+  Option.map
+    (fun (i : Kv.item) -> i.value)
+    (Kv.get (Site.kv (Cluster.site cluster site)) key)
+
+let test_read_modify_write () =
+  let cluster = mk () in
+  let s = Cluster.site cluster 0 in
+  (* Seed a counter. *)
+  let ok = ref false in
+  Cluster.submit cluster ~site:0 ~ops:[ Mix.Write ("n", "41") ] ~k:(fun o ->
+      ok := o = Site.Committed);
+  run_for cluster (Time.ms 50);
+  assert !ok;
+  (* Interactive increment. *)
+  let outcome = ref None in
+  (match Site.begin_txn s with
+  | None -> Alcotest.fail "begin failed"
+  | Some txn ->
+      Site.txn_read s txn ~key:"n" ~k:(function
+        | Error _ -> Alcotest.fail "read refused"
+        | Ok v ->
+            let n = int_of_string (Option.get v) in
+            Site.txn_write s txn ~key:"n" ~value:(string_of_int (n + 1))
+              ~k:(function
+              | Error _ -> Alcotest.fail "write refused"
+              | Ok () -> Site.txn_commit s txn ~k:(fun o -> outcome := Some o))));
+  run_for cluster (Time.ms 100);
+  Alcotest.(check bool) "committed" true (!outcome = Some Site.Committed);
+  for site = 0 to 2 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "incremented at %d" site)
+      (Some "42") (value_at cluster site "n")
+  done
+
+let test_read_your_writes () =
+  let cluster = mk () in
+  let s = Cluster.site cluster 0 in
+  let seen = ref None in
+  (match Site.begin_txn s with
+  | None -> Alcotest.fail "begin failed"
+  | Some txn ->
+      Site.txn_write s txn ~key:"w" ~value:"mine" ~k:(function
+        | Error _ -> Alcotest.fail "write refused"
+        | Ok () ->
+            Site.txn_read s txn ~key:"w" ~k:(function
+              | Error _ -> Alcotest.fail "read refused"
+              | Ok v ->
+                  seen := v;
+                  Site.txn_commit s txn ~k:(fun _ -> ()))));
+  run_for cluster (Time.ms 100);
+  Alcotest.(check (option string)) "saw own write" (Some "mine") !seen
+
+let test_voluntary_abort_releases () =
+  let cluster = mk () in
+  let s = Cluster.site cluster 0 in
+  (match Site.begin_txn s with
+  | None -> Alcotest.fail "begin failed"
+  | Some txn ->
+      Site.txn_write s txn ~key:"a" ~value:"x" ~k:(function
+        | Error _ -> Alcotest.fail "write refused"
+        | Ok () -> Site.txn_abort s txn));
+  run_for cluster (Time.ms 100);
+  Alcotest.(check (option string)) "nothing installed" None
+    (value_at cluster 0 "a");
+  (* The key is free again: another transaction gets it immediately. *)
+  let ok = ref false in
+  Cluster.submit cluster ~site:1 ~ops:[ Mix.Write ("a", "y") ] ~k:(fun o ->
+      ok := o = Site.Committed);
+  run_for cluster (Time.ms 100);
+  Alcotest.(check bool) "lock released" true !ok
+
+let test_conflicting_interactive_serialize () =
+  (* Two interactive increments on the same counter must serialize: final
+     value = initial + number of commits. *)
+  let cluster = mk ~seed:9 () in
+  let ok = ref false in
+  Cluster.submit cluster ~site:0 ~ops:[ Mix.Write ("c", "0") ] ~k:(fun o ->
+      ok := o = Site.Committed);
+  run_for cluster (Time.ms 50);
+  assert !ok;
+  let commits = ref 0 and finished = ref 0 in
+  let increment site =
+    let s = Cluster.site cluster site in
+    match Site.begin_txn s with
+    | None -> incr finished
+    | Some txn ->
+        Site.txn_read s txn ~key:"c" ~k:(function
+          | Error _ -> incr finished
+          | Ok v ->
+              let n = int_of_string (Option.value ~default:"0" v) in
+              Site.txn_write s txn ~key:"c" ~value:(string_of_int (n + 1))
+                ~k:(function
+                | Error _ -> incr finished
+                | Ok () ->
+                    Site.txn_commit s txn ~k:(fun o ->
+                        incr finished;
+                        if o = Site.Committed then incr commits)))
+  in
+  increment 0;
+  increment 1;
+  increment 2;
+  run_for cluster (Time.sec 2);
+  Alcotest.(check int) "all finished" 3 !finished;
+  Alcotest.(check (option string)) "no lost update"
+    (Some (string_of_int !commits))
+    (value_at cluster 0 "c");
+  Alcotest.(check bool) "replicas agree" true (Cluster.converged cluster)
+
+let test_begin_on_down_site () =
+  let cluster = mk () in
+  Cluster.crash_site cluster 0;
+  Alcotest.(check bool) "begin refused" true
+    (Site.begin_txn (Cluster.site cluster 0) = None)
+
+let test_interactive_bank_invariant () =
+  (* Randomized concurrent transfers driven through the interactive API;
+     the total is conserved whatever commits or aborts. *)
+  let cluster = mk ~seed:33 () in
+  let engine = Cluster.engine cluster in
+  let rng = Rng.split (Engine.rng engine) in
+  let accounts = 8 and initial = 50 in
+  let account i = Printf.sprintf "acct%d" i in
+  let ok = ref false in
+  Cluster.submit cluster ~site:0
+    ~ops:(List.init accounts (fun i -> Mix.Write (account i, string_of_int initial)))
+    ~k:(fun o -> ok := o = Site.Committed);
+  run_for cluster (Time.ms 50);
+  assert !ok;
+  let live = ref true in
+  let rec loop site =
+    if !live then begin
+      let again () =
+        ignore (Engine.schedule_after engine (Time.us 200) (fun () -> loop site))
+      in
+      let s = Cluster.site cluster site in
+      let a = Rng.int rng accounts in
+      let b = (a + 1 + Rng.int rng (accounts - 1)) mod accounts in
+      match Site.begin_txn s with
+      | None -> again ()
+      | Some txn ->
+          Site.txn_read s txn ~key:(account a) ~k:(function
+            | Error _ -> again ()
+            | Ok av ->
+                Site.txn_read s txn ~key:(account b) ~k:(function
+                  | Error _ -> again ()
+                  | Ok bv ->
+                      let an = int_of_string (Option.get av) in
+                      let bn = int_of_string (Option.get bv) in
+                      let amt = 1 + Rng.int rng 5 in
+                      if an < amt then begin
+                        Site.txn_abort s txn;
+                        again ()
+                      end
+                      else
+                        Site.txn_write s txn ~key:(account a)
+                          ~value:(string_of_int (an - amt)) ~k:(function
+                          | Error _ -> again ()
+                          | Ok () ->
+                              Site.txn_write s txn ~key:(account b)
+                                ~value:(string_of_int (bn + amt)) ~k:(function
+                                | Error _ -> again ()
+                                | Ok () ->
+                                    Site.txn_commit s txn ~k:(fun _ -> again ())))))
+    end
+  in
+  List.iter loop [ 0; 1; 2; 0 ];
+  ignore
+    (Engine.schedule_at engine (Time.ms 100) (fun () -> live := false));
+  run_for cluster (Time.ms 300);
+  let total site =
+    let kv = Site.kv (Cluster.site cluster site) in
+    let sum = ref 0 in
+    for i = 0 to accounts - 1 do
+      sum :=
+        !sum
+        + Option.value ~default:0
+            (Option.map
+               (fun (it : Kv.item) -> int_of_string it.value)
+               (Kv.get kv (account i)))
+    done;
+    !sum
+  in
+  for site = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "total conserved at site %d" site)
+      (accounts * initial) (total site)
+  done
+
+
+(* --- quorum version resolution ------------------------------------------ *)
+
+let test_quorum_read_resolves_newest_version () =
+  (* Under majority quorums on 3 sites, a write installs at 2 copies and
+     the third stays stale.  A later read whose quorum includes the stale
+     copy must still return the newest value by version resolution. *)
+  let config =
+    { (Config.default ~sites:3 ()) with
+      replica_control = Rt_replica.Replica_control.majority ~sites:3;
+      commit_protocol =
+        Config.Quorum_commit { commit_quorum = None; abort_quorum = None };
+      seed = 4 }
+  in
+  let cluster = Cluster.create config in
+  let ok = ref false in
+  Cluster.submit cluster ~site:0 ~ops:[ Mix.Write ("q", "first") ] ~k:(fun o ->
+      ok := o = Site.Committed);
+  run_for cluster (Time.ms 100);
+  assert !ok;
+  let ok2 = ref false in
+  Cluster.submit cluster ~site:0 ~ops:[ Mix.Write ("q", "second") ]
+    ~k:(fun o -> ok2 := o = Site.Committed);
+  run_for cluster (Time.ms 100);
+  assert !ok2;
+  (* At least one site should now be stale (write quorum = 2 of 3). *)
+  let versions =
+    List.map
+      (fun s -> Kv.version (Site.kv (Cluster.site cluster s)) "q")
+      [ 0; 1; 2 ]
+  in
+  let vmax = List.fold_left max 0 versions in
+  Alcotest.(check bool) "some copy is stale" true
+    (List.exists (fun v -> v < vmax) versions);
+  (* Read from every site: version resolution must always answer with the
+     newest value, wherever the stale copy hides. *)
+  List.iter
+    (fun site ->
+      let s = Cluster.site cluster site in
+      let got = ref None in
+      (match Site.begin_txn s with
+      | None -> Alcotest.fail "begin failed"
+      | Some txn ->
+          Site.txn_read s txn ~key:"q" ~k:(function
+            | Error _ -> Alcotest.fail "read aborted"
+            | Ok v ->
+                got := v;
+                Site.txn_commit s txn ~k:(fun _ -> ())));
+      run_for cluster (Time.ms 100);
+      Alcotest.(check (option string))
+        (Printf.sprintf "newest value from site %d" site)
+        (Some "second") !got)
+    [ 0; 1; 2 ]
+
+let () =
+  Alcotest.run "interactive"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "read-modify-write" `Quick test_read_modify_write;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "voluntary abort releases" `Quick
+            test_voluntary_abort_releases;
+          Alcotest.test_case "begin on down site" `Quick test_begin_on_down_site;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "read resolves newest version" `Quick
+            test_quorum_read_resolves_newest_version;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "conflicting increments serialize" `Quick
+            test_conflicting_interactive_serialize;
+          Alcotest.test_case "bank invariant under concurrency" `Quick
+            test_interactive_bank_invariant;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for weighted voting, coteries, and availability analysis. *)
+
+open Rt_quorum
+
+let test_majority () =
+  let v = Votes.majority ~sites:5 in
+  Alcotest.(check int) "read quorum" 3 (Votes.read_quorum v);
+  Alcotest.(check int) "write quorum" 3 (Votes.write_quorum v);
+  Alcotest.(check bool) "3 sites suffice" true (Votes.read_ok v [ 0; 1; 2 ]);
+  Alcotest.(check bool) "2 sites fail" false (Votes.write_ok v [ 0; 1 ]);
+  Alcotest.(check bool) "duplicates don't double-count" false
+    (Votes.write_ok v [ 0; 0; 1; 1 ])
+
+let test_rowa () =
+  let v = Votes.read_one_write_all ~sites:4 in
+  Alcotest.(check bool) "read one" true (Votes.read_ok v [ 2 ]);
+  Alcotest.(check bool) "write needs all" false (Votes.write_ok v [ 0; 1; 2 ]);
+  Alcotest.(check bool) "write all ok" true (Votes.write_ok v [ 0; 1; 2; 3 ])
+
+let test_invalid_assignments () =
+  Alcotest.check_raises "r+w <= total rejected"
+    (Invalid_argument "Votes.make: r + w must exceed total votes") (fun () ->
+      ignore (Votes.make ~votes:[| 1; 1; 1 |] ~read_quorum:1 ~write_quorum:2));
+  Alcotest.check_raises "2w <= total rejected"
+    (Invalid_argument "Votes.make: 2w must exceed total votes") (fun () ->
+      ignore (Votes.make ~votes:[| 1; 1; 1; 1 |] ~read_quorum:4 ~write_quorum:2));
+  Alcotest.check_raises "read-all-write-one invalid for n>1"
+    (Invalid_argument "Votes.make: 2w must exceed total votes") (fun () ->
+      ignore (Votes.read_all_write_one ~sites:3))
+
+let test_weighted () =
+  (* Site 0 carries 3 votes: it alone can form a write quorum of 4 with one
+     helper, and reads can be served by the heavy site alone. *)
+  let v = Votes.make ~votes:[| 3; 1; 1 |] ~read_quorum:3 ~write_quorum:4 in
+  Alcotest.(check bool) "heavy site reads alone" true (Votes.read_ok v [ 0 ]);
+  Alcotest.(check bool) "light pair cannot read" false (Votes.read_ok v [ 1; 2 ]);
+  Alcotest.(check bool) "heavy + one writes" true (Votes.write_ok v [ 0; 2 ])
+
+let test_min_sets () =
+  let v = Votes.make ~votes:[| 3; 1; 1 |] ~read_quorum:3 ~write_quorum:4 in
+  (match Votes.min_read_set v ~up:(fun _ -> true) with
+  | Some set -> Alcotest.(check (list int)) "greedy read set" [ 0 ] set
+  | None -> Alcotest.fail "read set expected");
+  (match Votes.min_write_set v ~up:(fun s -> s <> 0) with
+  | Some _ -> Alcotest.fail "write impossible without heavy site"
+  | None -> ());
+  match Votes.min_write_set v ~up:(fun _ -> true) with
+  | Some set -> Alcotest.(check int) "write set size" 2 (List.length set)
+  | None -> Alcotest.fail "write set expected"
+
+let test_uniform_helper () =
+  let v = Votes.uniform ~sites:7 ~read_quorum:2 in
+  Alcotest.(check int) "write quorum derived" 6 (Votes.write_quorum v);
+  let v2 = Votes.uniform ~sites:7 ~read_quorum:4 in
+  Alcotest.(check int) "majority floor" 4 (Votes.write_quorum v2)
+
+(* --- Coteries -------------------------------------------------------- *)
+
+let test_coterie_from_votes () =
+  let v = Votes.majority ~sites:3 in
+  let wq = Coterie.write_quorums_of_votes v in
+  (* Minimal write quorums of majority-3: the three pairs. *)
+  Alcotest.(check int) "three minimal quorums" 3
+    (List.length (Coterie.quorums wq));
+  Alcotest.(check bool) "pairwise intersecting" true
+    (Coterie.pairwise_intersecting wq);
+  let rq = Coterie.read_quorums_of_votes v in
+  Alcotest.(check bool) "read/write intersect" true
+    (Coterie.cross_intersecting rq wq);
+  Alcotest.(check int) "min size" 2 (Coterie.min_quorum_size wq);
+  Alcotest.(check bool) "contains quorum" true
+    (Coterie.contains_quorum wq [ 1; 2 ]);
+  Alcotest.(check bool) "singleton insufficient" false
+    (Coterie.contains_quorum wq [ 1 ])
+
+let test_coterie_minimality () =
+  let c = Coterie.of_quorums [ [ 0; 1 ]; [ 0; 1; 2 ]; [ 1; 2 ] ] in
+  Alcotest.(check int) "superset removed" 2 (List.length (Coterie.quorums c))
+
+let prop_vote_quorums_always_intersect =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* votes = array_repeat n (int_range 1 3) in
+      let total = Array.fold_left ( + ) 0 votes in
+      let* w = int_range ((total / 2) + 1) total in
+      let r_min = total - w + 1 in
+      let* r = int_range r_min total in
+      return (votes, r, w))
+  in
+  QCheck.Test.make ~name:"vote-derived quorums intersect" ~count:200
+    (QCheck.make gen ~print:(fun (votes, r, w) ->
+         Printf.sprintf "votes=[%s] r=%d w=%d"
+           (String.concat ";"
+              (Array.to_list (Array.map string_of_int votes)))
+           r w))
+    (fun (votes, r, w) ->
+      let v = Votes.make ~votes ~read_quorum:r ~write_quorum:w in
+      let rq = Coterie.read_quorums_of_votes v in
+      let wq = Coterie.write_quorums_of_votes v in
+      Coterie.pairwise_intersecting wq && Coterie.cross_intersecting rq wq)
+
+(* --- Availability ----------------------------------------------------- *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_rowa_availability () =
+  feq "write = p^n" (0.9 ** 3.) (Availability.rowa_write ~sites:3 ~p:0.9);
+  feq "read = 1-(1-p)^n"
+    (1. -. (0.1 ** 3.))
+    (Availability.rowa_read ~sites:3 ~p:0.9);
+  feq "available copies write = rowa read"
+    (Availability.rowa_read ~sites:3 ~p:0.9)
+    (Availability.available_copies_write ~sites:3 ~p:0.9)
+
+let test_majority_availability_closed_form () =
+  (* n=3 majority: P(≥2 up) = 3p²(1-p) + p³. *)
+  let p = 0.9 in
+  let expected = (3. *. p *. p *. (1. -. p)) +. (p ** 3.) in
+  feq "majority-3" expected (Availability.majority_txn ~sites:3 ~p)
+
+let test_quorum_availability_monotone () =
+  let v = Votes.majority ~sites:5 in
+  let a1 = Availability.txn_availability v ~p:0.8 in
+  let a2 = Availability.txn_availability v ~p:0.9 in
+  Alcotest.(check bool) "monotone in p" true (a2 > a1)
+
+let test_majority_beats_rowa_write () =
+  (* The classical motivation: majority writes stay available when any
+     minority of sites is down, while ROWA writes require all sites. *)
+  let p = 0.9 and n = 5 in
+  let rowa = Availability.rowa_write ~sites:n ~p in
+  let maj = Availability.majority_txn ~sites:n ~p in
+  Alcotest.(check bool) "majority > rowa for writes" true (maj > rowa)
+
+let prop_availability_bounds =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* p10 = int_range 0 10 in
+      return (n, float_of_int p10 /. 10.))
+  in
+  QCheck.Test.make ~name:"availability stays within [0,1]" ~count:100
+    (QCheck.make gen ~print:(fun (n, p) -> Printf.sprintf "n=%d p=%.1f" n p))
+    (fun (n, p) ->
+      let v = Votes.majority ~sites:n in
+      let a = Availability.txn_availability v ~p in
+      a >= 0. && a <= 1.)
+
+let prop_read_availability_ge_write =
+  (* With r ≤ w, read quorums are easier to form. *)
+  QCheck.Test.make ~name:"read availability ≥ write availability when r ≤ w"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 1 9))
+    (fun (n, p10) ->
+      let p = float_of_int p10 /. 10. in
+      let v = Votes.majority ~sites:n in
+      Availability.read_availability v ~p >= Availability.write_availability v ~p -. 1e-12)
+
+(* --- Tree quorums ------------------------------------------------------ *)
+
+let test_tree_sites () =
+  Alcotest.(check int) "degree 3 height 1" 4 (Tree_quorum.sites ~degree:3 ~height:1);
+  Alcotest.(check int) "degree 3 height 2" 13 (Tree_quorum.sites ~degree:3 ~height:2);
+  Alcotest.(check int) "degree 2 height 2" 7 (Tree_quorum.sites ~degree:2 ~height:2)
+
+let test_tree_quorums_intersect () =
+  List.iter
+    (fun (degree, height) ->
+      let c = Tree_quorum.coterie ~degree ~height in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d h=%d pairwise intersecting" degree height)
+        true
+        (Coterie.pairwise_intersecting c))
+    [ (2, 1); (2, 2); (3, 1); (3, 2) ]
+
+let test_tree_min_quorum_logarithmic () =
+  (* Binary tree of height 2 (7 sites): the cheapest quorum is a
+     root-to-leaf path of 3, beating the flat majority of 4; height 3
+     (15 sites): path of 4 vs majority of 8. *)
+  Alcotest.(check int) "7 sites: path of 3"
+    3 (Tree_quorum.min_quorum_size ~degree:2 ~height:2);
+  Alcotest.(check int) "15 sites: path of 4"
+    4 (Tree_quorum.min_quorum_size ~degree:2 ~height:3)
+
+let test_tree_availability_reasonable () =
+  let p = 0.9 in
+  let tree = Tree_quorum.availability ~degree:3 ~height:1 ~p in
+  (* Beats a single copy, bounded by 1. *)
+  Alcotest.(check bool) "beats single site" true (tree > p);
+  Alcotest.(check bool) "valid probability" true (tree <= 1.0);
+  (* Degrades to 0 as p -> 0, approaches 1 as p -> 1. *)
+  Alcotest.(check bool) "low p low availability" true
+    (Tree_quorum.availability ~degree:3 ~height:1 ~p:0.05 < 0.1);
+  Alcotest.(check bool) "high p high availability" true
+    (Tree_quorum.availability ~degree:3 ~height:1 ~p:0.999 > 0.99)
+
+let tree_cases =
+  [
+    Alcotest.test_case "sites" `Quick test_tree_sites;
+    Alcotest.test_case "quorums intersect" `Quick test_tree_quorums_intersect;
+    Alcotest.test_case "logarithmic quorums" `Quick
+      test_tree_min_quorum_logarithmic;
+    Alcotest.test_case "availability" `Quick test_tree_availability_reasonable;
+  ]
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ( "votes",
+        [
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "rowa" `Quick test_rowa;
+          Alcotest.test_case "invalid" `Quick test_invalid_assignments;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "min sets" `Quick test_min_sets;
+          Alcotest.test_case "uniform helper" `Quick test_uniform_helper;
+        ] );
+      ( "coterie",
+        [
+          Alcotest.test_case "from votes" `Quick test_coterie_from_votes;
+          Alcotest.test_case "minimality" `Quick test_coterie_minimality;
+          QCheck_alcotest.to_alcotest prop_vote_quorums_always_intersect;
+        ] );
+      ("tree", tree_cases);
+      ( "availability",
+        [
+          Alcotest.test_case "rowa formulas" `Quick test_rowa_availability;
+          Alcotest.test_case "majority closed form" `Quick
+            test_majority_availability_closed_form;
+          Alcotest.test_case "monotone" `Quick test_quorum_availability_monotone;
+          Alcotest.test_case "majority beats rowa" `Quick
+            test_majority_beats_rowa_write;
+          QCheck_alcotest.to_alcotest prop_availability_bounds;
+          QCheck_alcotest.to_alcotest prop_read_availability_ge_write;
+        ] );
+    ]
+

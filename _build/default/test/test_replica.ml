@@ -1,0 +1,128 @@
+(* Tests for replica-control planners: plan contents under full and
+   degraded up-sets, availability boundaries, and protocol properties. *)
+
+open Rt_replica
+module RC = Replica_control
+
+let all_up _ = true
+let down these s = not (List.mem s these)
+
+let test_rowa_plans () =
+  let rc = RC.rowa in
+  Alcotest.(check (option (list int))) "read local" (Some [ 1 ])
+    (RC.read_plan rc ~self:1 ~up:all_up ~sites:3);
+  Alcotest.(check (option (list int))) "write all" (Some [ 0; 1; 2 ])
+    (RC.write_plan rc ~self:1 ~up:all_up ~sites:3);
+  Alcotest.(check (option (list int))) "write unavailable when one down" None
+    (RC.write_plan rc ~self:1 ~up:(down [ 2 ]) ~sites:3);
+  Alcotest.(check (option (list int))) "read falls over to another up site"
+    (Some [ 0 ])
+    (RC.read_plan rc ~self:1 ~up:(down [ 1 ]) ~sites:3)
+
+let test_available_copies_plans () =
+  let rc = RC.available_copies in
+  Alcotest.(check (option (list int))) "write to up copies" (Some [ 0; 2 ])
+    (RC.write_plan rc ~self:0 ~up:(down [ 1 ]) ~sites:3);
+  Alcotest.(check (option (list int))) "write needs one copy" None
+    (RC.write_plan rc ~self:0 ~up:(down [ 0; 1; 2 ]) ~sites:3);
+  Alcotest.(check bool) "needs catch-up on recovery" true
+    (RC.needs_catchup_on_recovery rc);
+  Alcotest.(check bool) "not partition safe" false (RC.tolerates_partitions rc)
+
+let test_quorum_plans () =
+  let rc = RC.majority ~sites:5 in
+  (match RC.read_plan rc ~self:3 ~up:all_up ~sites:5 with
+  | Some plan ->
+      Alcotest.(check int) "majority read size" 3 (List.length plan);
+      Alcotest.(check bool) "prefers self" true (List.mem 3 plan)
+  | None -> Alcotest.fail "plan expected");
+  (match RC.write_plan rc ~self:4 ~up:(down [ 0; 1 ]) ~sites:5 with
+  | Some plan ->
+      Alcotest.(check int) "write quorum from survivors" 3 (List.length plan);
+      Alcotest.(check bool) "only up sites" true
+        (List.for_all (fun s -> s >= 2) plan)
+  | None -> Alcotest.fail "plan expected");
+  Alcotest.(check (option (list int))) "minority cannot write" None
+    (RC.write_plan rc ~self:0 ~up:(down [ 2; 3; 4 ]) ~sites:5);
+  Alcotest.(check bool) "needs version resolution" true
+    (RC.read_needs_version_resolution rc);
+  Alcotest.(check bool) "partition safe" true (RC.tolerates_partitions rc)
+
+let test_primary_plans () =
+  let rc = RC.primary 1 in
+  Alcotest.(check (option (list int))) "reads at primary" (Some [ 1 ])
+    (RC.read_plan rc ~self:0 ~up:all_up ~sites:3);
+  Alcotest.(check (option (list int))) "writes at primary + up backups"
+    (Some [ 0; 1; 2 ])
+    (RC.write_plan rc ~self:0 ~up:all_up ~sites:3);
+  (* Succession: with the primary down, the lowest up site acts. *)
+  Alcotest.(check (option (list int))) "succession to lowest up site"
+    (Some [ 0 ])
+    (RC.read_plan rc ~self:0 ~up:(down [ 1 ]) ~sites:3);
+  Alcotest.(check (option (list int))) "no site up = unavailable" None
+    (RC.read_plan rc ~self:0 ~up:(down [ 0; 1; 2 ]) ~sites:3)
+
+let test_weighted_quorum_plan () =
+  let rc = RC.Quorum (Rt_quorum.Votes.make ~votes:[| 3; 1; 1 |] ~read_quorum:3 ~write_quorum:3) in
+  (match RC.read_plan rc ~self:1 ~up:all_up ~sites:3 with
+  | Some plan ->
+      (* The heavy site alone satisfies the quorum; greedy picks it. *)
+      Alcotest.(check (list int)) "heavy site suffices" [ 0 ] plan
+  | None -> Alcotest.fail "plan expected");
+  match RC.write_plan rc ~self:1 ~up:(down [ 0 ]) ~sites:3 with
+  | Some _ -> Alcotest.fail "cannot write without the heavy site"
+  | None -> ()
+
+(* Read/write plans must always intersect for quorum schemes — on every
+   up-set where both exist. *)
+let prop_quorum_plans_intersect =
+  QCheck.Test.make ~name:"quorum read/write plans intersect" ~count:300
+    QCheck.(pair (int_range 1 7) (int_range 0 127))
+    (fun (sites, up_mask) ->
+      let rc = RC.majority ~sites in
+      let up s = up_mask land (1 lsl s) <> 0 in
+      match
+        ( RC.read_plan rc ~self:0 ~up ~sites,
+          RC.write_plan rc ~self:0 ~up ~sites )
+      with
+      | Some r, Some w -> List.exists (fun s -> List.mem s w) r
+      | _ -> true)
+
+(* Plans only ever name up sites. *)
+let prop_plans_respect_up_set =
+  QCheck.Test.make ~name:"plans contain only up sites" ~count:300
+    QCheck.(triple (int_range 1 6) (int_range 0 63) (int_range 0 3))
+    (fun (sites, up_mask, which) ->
+      let rc =
+        match which with
+        | 0 -> RC.rowa
+        | 1 -> RC.available_copies
+        | 2 -> RC.majority ~sites
+        | _ -> RC.primary 0
+      in
+      let up s = up_mask land (1 lsl s) <> 0 in
+      let check = function
+        | Some plan -> List.for_all up plan
+        | None -> true
+      in
+      check (RC.read_plan rc ~self:0 ~up ~sites)
+      && check (RC.write_plan rc ~self:0 ~up ~sites))
+
+let () =
+  Alcotest.run "replica"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "rowa" `Quick test_rowa_plans;
+          Alcotest.test_case "available copies" `Quick
+            test_available_copies_plans;
+          Alcotest.test_case "majority quorum" `Quick test_quorum_plans;
+          Alcotest.test_case "primary copy" `Quick test_primary_plans;
+          Alcotest.test_case "weighted quorum" `Quick test_weighted_quorum_plan;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_quorum_plans_intersect;
+          QCheck_alcotest.to_alcotest prop_plans_respect_up_set;
+        ] );
+    ]

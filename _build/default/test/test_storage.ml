@@ -1,0 +1,334 @@
+(* Tests for the storage engine: KV semantics, WAL durability and group
+   commit, crash behaviour, truncation, recovery classification and
+   replay, checkpoints. *)
+
+open Rt_sim
+open Rt_types
+open Rt_storage
+
+let txn ?(origin = 0) seq =
+  Ids.Txn_id.make ~origin ~seq ~start_ts:(Time.ms seq)
+
+let tid = Alcotest.testable Ids.Txn_id.pp Ids.Txn_id.equal
+
+(* --- Kv ------------------------------------------------------------- *)
+
+let test_kv_basic () =
+  let kv = Kv.create () in
+  Alcotest.(check bool) "absent" true (Kv.get kv "a" = None);
+  Alcotest.(check int) "version 0 when absent" 0 (Kv.version kv "a");
+  Kv.set kv ~key:"a" ~value:"1" ~version:1;
+  Alcotest.(check bool) "present" true (Kv.mem kv "a");
+  (match Kv.get kv "a" with
+  | Some { value; version } ->
+      Alcotest.(check string) "value" "1" value;
+      Alcotest.(check int) "version" 1 version
+  | None -> Alcotest.fail "expected item");
+  Kv.set kv ~key:"a" ~value:"2" ~version:2;
+  Alcotest.(check int) "overwrite version" 2 (Kv.version kv "a");
+  Kv.remove kv "a";
+  Alcotest.(check bool) "removed" false (Kv.mem kv "a")
+
+let test_kv_snapshot_restore () =
+  let kv = Kv.create () in
+  Kv.set kv ~key:"x" ~value:"1" ~version:1;
+  Kv.set kv ~key:"y" ~value:"2" ~version:3;
+  let snap = Kv.snapshot kv in
+  Kv.set kv ~key:"x" ~value:"dirty" ~version:9;
+  Kv.remove kv "y";
+  Kv.restore kv snap;
+  Alcotest.(check int) "x version restored" 1 (Kv.version kv "x");
+  Alcotest.(check int) "y restored" 3 (Kv.version kv "y");
+  Alcotest.(check bool) "equal to copy" true (Kv.equal kv (Kv.copy kv))
+
+let prop_kv_snapshot_roundtrip =
+  QCheck.Test.make ~name:"kv snapshot/restore roundtrip" ~count:100
+    QCheck.(small_list (pair (string_of_size Gen.(1 -- 8)) small_nat))
+    (fun entries ->
+      let kv = Kv.create () in
+      List.iteri
+        (fun i (k, v) ->
+          Kv.set kv ~key:k ~value:(string_of_int v) ~version:(i + 1))
+        entries;
+      let snap = Kv.snapshot kv in
+      let kv2 = Kv.create () in
+      Kv.restore kv2 snap;
+      Kv.equal kv kv2)
+
+(* --- Wal ------------------------------------------------------------ *)
+
+let test_wal_append_and_force () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 100) () in
+  let l1 = Wal.append wal "r1" in
+  let l2 = Wal.append wal "r2" in
+  Alcotest.(check int) "lsns" 1 l1;
+  Alcotest.(check int) "lsns" 2 l2;
+  Alcotest.(check int) "nothing durable yet" 0 (Wal.durable_lsn wal);
+  let done_at = ref (-1) in
+  Wal.force wal (fun () -> done_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "durable after force" 2 (Wal.durable_lsn wal);
+  Alcotest.(check int) "force took latency" (Time.us 100) !done_at;
+  Alcotest.(check (list string)) "durable records" [ "r1"; "r2" ]
+    (Wal.durable_records wal)
+
+let test_wal_group_commit () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 100) () in
+  ignore (Wal.append wal "a");
+  let finished = ref [] in
+  Wal.force wal (fun () -> finished := "f1" :: !finished);
+  (* While the device is busy, two more forces arrive; they coalesce into
+     a single second cycle. *)
+  ignore
+    (Engine.schedule_after e (Time.us 10) (fun () ->
+         ignore (Wal.append wal "b");
+         Wal.force wal (fun () -> finished := "f2" :: !finished)));
+  ignore
+    (Engine.schedule_after e (Time.us 20) (fun () ->
+         ignore (Wal.append wal "c");
+         Wal.force wal (fun () -> finished := "f3" :: !finished)));
+  Engine.run e;
+  Alcotest.(check (list string)) "all forces completed" [ "f3"; "f2"; "f1" ]
+    !finished;
+  Alcotest.(check int) "two device cycles" 2 (Wal.force_count wal);
+  Alcotest.(check int) "everything durable" 3 (Wal.durable_lsn wal)
+
+let test_wal_force_when_already_durable () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 100) () in
+  ignore (Wal.append wal "a");
+  Wal.force wal (fun () -> ());
+  Engine.run e;
+  let fired = ref false in
+  Wal.force wal ~upto:1 (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "immediate completion" true !fired;
+  Alcotest.(check int) "no extra device cycle" 1 (Wal.force_count wal)
+
+let test_wal_crash_loses_volatile_suffix () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 100) () in
+  ignore (Wal.append wal "a");
+  Wal.force wal (fun () -> ());
+  Engine.run e;
+  ignore (Wal.append wal "b");
+  let fired = ref false in
+  Wal.force wal (fun () -> fired := true);
+  Wal.crash wal;
+  Engine.run e;
+  Alcotest.(check bool) "pending force callback silenced" false !fired;
+  Alcotest.(check int) "durable prefix survives" 1 (Wal.durable_lsn wal);
+  Alcotest.(check (list string)) "only durable record" [ "a" ]
+    (Wal.all_records wal)
+
+let test_wal_truncate () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 10) () in
+  for i = 1 to 5 do
+    ignore (Wal.append wal (Printf.sprintf "r%d" i))
+  done;
+  Wal.force wal (fun () -> ());
+  Engine.run e;
+  Wal.truncate wal ~upto:3;
+  Alcotest.(check int) "first lsn" 4 (Wal.first_lsn wal);
+  Alcotest.(check int) "tail stable" 5 (Wal.tail_lsn wal);
+  Alcotest.(check (list string)) "suffix" [ "r4"; "r5" ] (Wal.durable_records wal);
+  let l6 = Wal.append wal "r6" in
+  Alcotest.(check int) "numbering continues" 6 l6;
+  Alcotest.check_raises "cannot truncate past durable"
+    (Invalid_argument "Wal.truncate: beyond durable point") (fun () ->
+      Wal.truncate wal ~upto:6)
+
+(* --- Recovery -------------------------------------------------------- *)
+
+let upd t key value version =
+  Log_record.Update { txn = t; key; value; version; undo = None }
+
+let test_recovery_winners_only () =
+  let t1 = txn 1 and t2 = txn 2 in
+  let log =
+    [
+      upd t1 "a" "1" 1;
+      upd t2 "b" "2" 1;
+      Log_record.Prepared { txn = t1; participants = [ 0 ] };
+      Log_record.Prepared { txn = t2; participants = [ 0 ] };
+      Log_record.Commit t1;
+      Log_record.Abort t2;
+    ]
+  in
+  let kv = Kv.create () in
+  let o = Recovery.recover kv log in
+  Alcotest.(check (list tid)) "winner" [ t1 ] o.committed;
+  Alcotest.(check (list tid)) "loser" [ t2 ] o.aborted;
+  Alcotest.(check (list tid)) "no in-doubt" []
+    (List.map (fun (d : Recovery.in_doubt) -> d.txn) o.in_doubt);
+  Alcotest.(check int) "one redo" 1 o.redone;
+  Alcotest.(check bool) "a applied" true (Kv.mem kv "a");
+  Alcotest.(check bool) "b not applied" false (Kv.mem kv "b")
+
+let test_recovery_in_doubt () =
+  let t1 = txn 1 and t2 = txn 2 in
+  let log =
+    [
+      upd t1 "a" "1" 1;
+      Log_record.Prepared { txn = t1; participants = [ 0 ] };
+      upd t2 "b" "1" 1;
+      Log_record.Prepared { txn = t2; participants = [ 0 ] };
+      Log_record.Precommit t2;
+    ]
+  in
+  let kv = Kv.create () in
+  let o = Recovery.recover kv log in
+  Alcotest.(check (list tid)) "both in doubt" [ t1; t2 ]
+    (List.map (fun (d : Recovery.in_doubt) -> d.txn) o.in_doubt);
+  Alcotest.(check (list tid)) "t2 precommitted" [ t2 ]
+    (List.filter_map
+       (fun (d : Recovery.in_doubt) ->
+         if d.state = Recovery.D_precommitted then Some d.txn else None)
+       o.in_doubt);
+  Alcotest.(check int) "no redo for in-doubt" 0 o.redone
+
+let test_recovery_idempotent () =
+  let t1 = txn 1 in
+  let log = [ upd t1 "a" "5" 3; Log_record.Commit t1 ] in
+  let kv = Kv.create () in
+  ignore (Recovery.recover kv log);
+  let snap = Kv.snapshot kv in
+  ignore (Recovery.recover kv log);
+  Alcotest.(check bool) "idempotent replay" true (Kv.snapshot kv = snap)
+
+let test_recovery_last_write_wins () =
+  let t1 = txn 1 and t2 = txn 2 in
+  let log =
+    [
+      upd t1 "a" "1" 1; Log_record.Commit t1; upd t2 "a" "2" 2;
+      Log_record.Commit t2;
+    ]
+  in
+  let kv = Kv.create () in
+  ignore (Recovery.recover kv log);
+  Alcotest.(check int) "final version" 2 (Kv.version kv "a")
+
+let prop_recovery_never_applies_losers =
+  let gen =
+    QCheck.Gen.(
+      small_list (pair (int_range 0 5) (oneofl [ `Commit; `Abort; `None ])))
+  in
+  QCheck.Test.make ~name:"recovery applies exactly the winners" ~count:200
+    (QCheck.make gen)
+    (fun txns ->
+      (* Build a log where txn i writes key i; outcome per the tag. *)
+      let log =
+        List.concat
+          (List.mapi
+             (fun i (k, outcome) ->
+               let t = txn (i + 1) in
+               let base =
+                 [ upd t (Printf.sprintf "k%d" k) (string_of_int i) (i + 1);
+                   Log_record.Prepared { txn = t; participants = [ 0 ] } ]
+               in
+               match outcome with
+               | `Commit -> base @ [ Log_record.Commit t ]
+               | `Abort -> base @ [ Log_record.Abort t ]
+               | `None -> base)
+             txns)
+      in
+      let kv = Kv.create () in
+      let o = Recovery.recover kv log in
+      let winners = List.length o.committed in
+      o.redone = winners)
+
+(* --- Checkpoint ------------------------------------------------------ *)
+
+let test_checkpoint_roundtrip () =
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  Kv.set kv ~key:"a" ~value:"1" ~version:1;
+  Checkpoint.take cp ~kv ~lsn:10;
+  Kv.set kv ~key:"a" ~value:"2" ~version:2;
+  let kv2 = Kv.create () in
+  let from = Checkpoint.restore_latest cp kv2 in
+  Alcotest.(check int) "replay from" 10 from;
+  Alcotest.(check int) "snapshot version" 1 (Kv.version kv2 "a");
+  Alcotest.(check int) "count" 1 (Checkpoint.count cp)
+
+let test_checkpoint_empty () =
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  Kv.set kv ~key:"junk" ~value:"x" ~version:1;
+  let from = Checkpoint.restore_latest cp kv in
+  Alcotest.(check int) "from scratch" 0 from;
+  Alcotest.(check int) "cleared" 0 (Kv.size kv)
+
+(* Full cycle: run updates through a WAL + checkpoint, crash, recover,
+   and compare against the expected state. *)
+let test_storage_crash_cycle () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 50) () in
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  let apply t key value version commit =
+    ignore (Wal.append wal (upd t key value version));
+    if commit then begin
+      ignore (Wal.append wal (Log_record.Commit t));
+      Wal.force wal (fun () -> Kv.set kv ~key ~value ~version)
+    end
+  in
+  apply (txn 1) "a" "1" 1 true;
+  Engine.run e;
+  Checkpoint.take cp ~kv ~lsn:(Wal.durable_lsn wal);
+  apply (txn 2) "b" "2" 1 true;
+  Engine.run e;
+  (* A transaction whose commit record never becomes durable. *)
+  ignore (Wal.append wal (upd (txn 3) "c" "3" 1));
+  Wal.crash wal;
+  (* Restart: snapshot + durable suffix replay. *)
+  let kv' = Kv.create () in
+  let from = Checkpoint.restore_latest cp kv' in
+  let suffix =
+    List.filteri (fun i _ -> i >= from) (Wal.durable_records wal)
+  in
+  let o = Recovery.recover kv' suffix in
+  Alcotest.(check bool) "a survived (checkpoint)" true (Kv.mem kv' "a");
+  Alcotest.(check bool) "b survived (replay)" true (Kv.mem kv' "b");
+  Alcotest.(check bool) "c lost (never committed)" false (Kv.mem kv' "c");
+  Alcotest.(check int) "b redone" 1 o.redone
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "basic" `Quick test_kv_basic;
+          Alcotest.test_case "snapshot/restore" `Quick test_kv_snapshot_restore;
+          QCheck_alcotest.to_alcotest prop_kv_snapshot_roundtrip;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "append and force" `Quick test_wal_append_and_force;
+          Alcotest.test_case "group commit" `Quick test_wal_group_commit;
+          Alcotest.test_case "force when durable" `Quick
+            test_wal_force_when_already_durable;
+          Alcotest.test_case "crash loses volatile suffix" `Quick
+            test_wal_crash_loses_volatile_suffix;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "winners only" `Quick test_recovery_winners_only;
+          Alcotest.test_case "in-doubt classification" `Quick
+            test_recovery_in_doubt;
+          Alcotest.test_case "idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "last write wins" `Quick
+            test_recovery_last_write_wins;
+          QCheck_alcotest.to_alcotest prop_recovery_never_applies_losers;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "empty" `Quick test_checkpoint_empty;
+          Alcotest.test_case "crash cycle" `Quick test_storage_crash_cycle;
+        ] );
+    ]

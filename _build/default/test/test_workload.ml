@@ -1,0 +1,193 @@
+(* Tests for workload generation: Zipf distribution correctness, mix
+   semantics, determinism, and population. *)
+
+open Rt_sim
+open Rt_workload
+
+let rng seed = Rng.create ~seed
+
+(* --- Zipf -------------------------------------------------------------- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let r = rng 1 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d near 0.1" i)
+        true
+        (freq > 0.085 && freq < 0.115))
+    counts
+
+let test_zipf_skewed () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let r = rng 2 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let k = Zipf.sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts);
+  Alcotest.(check bool) "rank 0 >> rank 50" true
+    (counts.(0) > 10 * max 1 counts.(50))
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:50 ~theta:0.9 in
+  let total = ref 0. in
+  for i = 0 to 49 do
+    total := !total +. Zipf.pmf z i
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_zipf_matches_pmf () =
+  let z = Zipf.create ~n:5 ~theta:1.2 in
+  let r = rng 3 in
+  let n = 100_000 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to n do
+    let k = Zipf.sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for i = 0 to 4 do
+    let freq = float_of_int counts.(i) /. float_of_int n in
+    let expected = Zipf.pmf z i in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d within 10%% of pmf" i)
+      true
+      (abs_float (freq -. expected) < 0.1 *. expected +. 0.005)
+  done
+
+(* --- Mix ----------------------------------------------------------------- *)
+
+let test_mix_distinct_sorted_keys () =
+  let mix = { Mix.default with keys = 50; ops_per_txn = 5 } in
+  let g = Mix.generator mix (rng 4) in
+  for _ = 1 to 200 do
+    let ops = Mix.next_txn g in
+    let keys = List.map Mix.op_key ops in
+    Alcotest.(check int) "requested ops" 5 (List.length ops);
+    Alcotest.(check (list string)) "sorted distinct"
+      (List.sort_uniq String.compare keys)
+      keys
+  done
+
+let test_mix_read_fraction () =
+  let mix =
+    { Mix.default with keys = 1000; ops_per_txn = 4; read_fraction = 0.75 }
+  in
+  let g = Mix.generator mix (rng 5) in
+  let reads = ref 0 and total = ref 0 in
+  for _ = 1 to 2_000 do
+    List.iter
+      (fun op ->
+        incr total;
+        if Mix.is_read op then incr reads)
+      (Mix.next_txn g)
+  done;
+  let f = float_of_int !reads /. float_of_int !total in
+  Alcotest.(check bool) "read fraction ~0.75" true (f > 0.72 && f < 0.78)
+
+let test_mix_value_size () =
+  let mix = { Mix.default with value_size = 64; read_fraction = 0. } in
+  let g = Mix.generator mix (rng 6) in
+  List.iter
+    (function
+      | Mix.Write (_, v) ->
+          Alcotest.(check bool) "value at least requested size" true
+            (String.length v >= 64)
+      | Mix.Read _ -> Alcotest.fail "write-only mix")
+    (Mix.next_txn g)
+
+let test_mix_determinism () =
+  let mix = { Mix.default with keys = 100; theta = 0.9 } in
+  let run () =
+    let g = Mix.generator mix (rng 7) in
+    List.init 50 (fun _ -> Mix.next_txn g)
+  in
+  Alcotest.(check bool) "same seed, same stream" true (run () = run ())
+
+let test_mix_unordered_has_conflicting_orders () =
+  (* With unordered generation, some pair of transactions must access a
+     shared pair of keys in opposite orders — the deadlock precondition. *)
+  let mix =
+    { Mix.default with keys = 5; ops_per_txn = 3; read_fraction = 0. }
+  in
+  let g = Mix.generator mix (rng 8) in
+  let txns = List.init 100 (fun _ -> Mix.next_txn_unordered g) in
+  let key_pairs ops =
+    let keys = List.map Mix.op_key ops in
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a <> b then Some (a, b) else None) keys)
+      keys
+    |> List.filter (fun (a, b) ->
+           (* a before b in access order *)
+           let rec idx k = function
+             | [] -> -1
+             | x :: r -> if x = k then 0 else 1 + idx k r
+           in
+           idx a keys < idx b keys)
+  in
+  let opposite =
+    List.exists
+      (fun t1 ->
+        List.exists
+          (fun t2 ->
+            List.exists
+              (fun (a, b) -> List.mem (b, a) (key_pairs t2))
+              (key_pairs t1))
+          txns)
+      txns
+  in
+  Alcotest.(check bool) "opposite orders occur" true opposite
+
+let test_populate () =
+  let mix = { Mix.default with keys = 10 } in
+  let got = ref [] in
+  Mix.populate mix (fun ~key ~value:_ -> got := key :: !got);
+  Alcotest.(check int) "all keys" 10 (List.length !got);
+  Alcotest.(check bool) "key naming" true (List.mem (Mix.key_of 3) !got)
+
+let prop_sample_in_range =
+  QCheck.Test.make ~name:"zipf samples stay in range" ~count:200
+    QCheck.(pair (int_range 1 100) (int_range 0 20))
+    (fun (n, theta10) ->
+      let z = Zipf.create ~n ~theta:(float_of_int theta10 /. 10.) in
+      let r = rng (n + theta10) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let k = Zipf.sample z r in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          Alcotest.test_case "skewed" `Quick test_zipf_skewed;
+          Alcotest.test_case "pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "sampling matches pmf" `Quick test_zipf_matches_pmf;
+          QCheck_alcotest.to_alcotest prop_sample_in_range;
+        ] );
+      ( "mix",
+        [
+          Alcotest.test_case "distinct sorted keys" `Quick
+            test_mix_distinct_sorted_keys;
+          Alcotest.test_case "read fraction" `Quick test_mix_read_fraction;
+          Alcotest.test_case "value size" `Quick test_mix_value_size;
+          Alcotest.test_case "determinism" `Quick test_mix_determinism;
+          Alcotest.test_case "unordered conflicts" `Quick
+            test_mix_unordered_has_conflicting_orders;
+          Alcotest.test_case "populate" `Quick test_populate;
+        ] );
+    ]
