@@ -1,0 +1,18 @@
+.PHONY: all build test lint bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+lint:
+	dune build @lint
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -43,7 +43,14 @@ let forked_keys cluster =
                 | _ -> ()))
         sites)
     sites;
-  List.sort_uniq compare !forks
+  let fork_compare (k1, a1, b1) (k2, a2, b2) =
+    let c = String.compare k1 k2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else Int.compare b1 b2
+  in
+  List.sort_uniq fork_compare !forks
 
 let cc_of_string = function
   | "2pl" | "locking" -> Ok Config.Locking

@@ -36,7 +36,7 @@ let conflict_edges t =
         | None -> Hashtbl.add writes_by_key k (ref [ w ]))
     t.writes;
   let sorted_writes = Hashtbl.create 64 in
-  Hashtbl.iter
+  Rt_sim.Det.iter_sorted ~cmp:String.compare
     (fun k r ->
       let arr = Array.of_list !r in
       Array.sort (fun a b -> Int.compare a.version b.version) arr;
@@ -45,7 +45,7 @@ let conflict_edges t =
   let edges = ref [] in
   let add a b = if not (Tid.equal a b) then edges := (a, b) :: !edges in
   (* ww chain per key. *)
-  Hashtbl.iter
+  Rt_sim.Det.iter_sorted ~cmp:String.compare
     (fun _k arr ->
       for i = 0 to Array.length arr - 2 do
         add arr.(i).txn arr.(i + 1).txn
@@ -77,7 +77,11 @@ let conflict_edges t =
             let i = next_write_after arr r.version in
             if i < Array.length arr then add r.txn arr.(i).txn)
     t.reads;
-  List.sort_uniq compare !edges
+  let edge_compare (a1, b1) (a2, b2) =
+    let c = Tid.compare a1 a2 in
+    if c <> 0 then c else Tid.compare b1 b2
+  in
+  List.sort_uniq edge_compare !edges
 
 let cycle t = Rt_lock.Wfg.find_cycle (Rt_lock.Wfg.of_edges (conflict_edges t))
 let serializable t = cycle t = None

@@ -73,6 +73,7 @@ let write t ~txn ~key ~value ~k =
   end
 
 let validate t ctx =
+  (* rt_lint: allow deterministic-iteration -- order-insensitive conjunction *)
   Hashtbl.fold
     (fun key version ok -> ok && Kv.version t.kv key = version)
     ctx.reads true
@@ -91,13 +92,13 @@ let commit t ~txn ~k =
   else begin
     Option.iter
       (fun h ->
-        Hashtbl.iter
+        Rt_sim.Det.iter_sorted ~cmp:String.compare
           (fun key version ->
             if not (Hashtbl.mem ctx.writes key) then
               History.read h txn ~key ~version)
           ctx.reads)
       t.history;
-    Hashtbl.iter
+    Rt_sim.Det.iter_sorted ~cmp:String.compare
       (fun key value ->
         let version = Kv.version t.kv key + 1 in
         Kv.set t.kv ~key ~value ~version;

@@ -81,13 +81,11 @@ let ctx_of t txn =
   | None -> invalid_arg "Timestamp_order: unknown transaction"
 
 let clear_pending t txn ctx =
-  Hashtbl.iter
+  Rt_sim.Det.iter_sorted ~cmp:String.compare
     (fun key _ ->
       let e = key_ts t key in
       e.pending <- List.filter (fun p -> not (Tid.equal p txn)) e.pending)
     ctx.writes
-
-and key_ts_fwd = ()
 
 let do_abort t txn ctx ~order =
   if ctx.alive then begin
@@ -150,7 +148,7 @@ let commit t ~txn ~k =
   else begin
     let ts = Some txn in
     clear_pending t txn ctx;
-    Hashtbl.iter
+    Rt_sim.Det.iter_sorted ~cmp:String.compare
       (fun key value ->
         let e = key_ts t key in
         (* Thomas write rule: skip writes already superseded. *)

@@ -192,7 +192,7 @@ let commit t ~txn ~k =
   | Some ctx ->
   if not ctx.alive then k `Aborted
   else begin
-    Hashtbl.iter
+    Rt_sim.Det.iter_sorted ~cmp:String.compare
       (fun key value ->
         let version = Kv.version t.kv key + 1 in
         Kv.set t.kv ~key ~value ~version;

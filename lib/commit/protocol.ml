@@ -7,6 +7,8 @@ let pp_decision fmt = function
   | Abort -> Format.pp_print_string fmt "abort"
 
 let decision_equal (a : decision) b = a = b
+let decision_rank = function Commit -> 0 | Abort -> 1
+let decision_compare a b = Int.compare (decision_rank a) (decision_rank b)
 
 type msg =
   | Vote_req
@@ -88,6 +90,15 @@ let pp_log_tag fmt = function
   | L_end -> Format.pp_print_string fmt "end"
 
 type timer = T_votes | T_decision | T_precommit_ack | T_state | T_resend
+
+let timer_rank = function
+  | T_votes -> 0
+  | T_decision -> 1
+  | T_precommit_ack -> 2
+  | T_state -> 3
+  | T_resend -> 4
+
+let timer_compare a b = Int.compare (timer_rank a) (timer_rank b)
 
 let pp_timer fmt = function
   | T_votes -> Format.pp_print_string fmt "votes"

@@ -20,6 +20,10 @@ val pp_decision : Format.formatter -> decision -> unit
 
 val decision_equal : decision -> decision -> bool
 
+val decision_compare : decision -> decision -> int
+(** Total order on outcomes (replay-deterministic sorting of decision
+    lists; never compare decisions polymorphically). *)
+
 (** Protocol messages.  The transaction id is carried by the envelope at
     the transport layer, not here. *)
 type msg =
@@ -80,6 +84,9 @@ type log_tag =
 val pp_log_tag : Format.formatter -> log_tag -> unit
 
 type timer = T_votes | T_decision | T_precommit_ack | T_state | T_resend
+
+val timer_compare : timer -> timer -> int
+(** Total order on timer kinds, for deterministic timer scheduling. *)
 
 val pp_timer : Format.formatter -> timer -> unit
 

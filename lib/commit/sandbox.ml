@@ -36,6 +36,17 @@ let finished_machine = Erased.finished
 
 type mrole = Coord | Part
 
+let mrole_rank = function Coord -> 0 | Part -> 1
+
+(* Total order on timer keys so the enabled-timer list is a function of
+   the timer set, not of hash-table layout. *)
+let timer_key_compare (s1, r1, t1) (s2, r2, t2) =
+  let c = Int.compare s1 s2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare (mrole_rank r1) (mrole_rank r2) in
+    if c <> 0 then c else timer_compare t1 t2
+
 type event =
   | Deliver of { src : Ids.site_id; dst : Ids.site_id; msg : msg }
   | Log_complete of { site : Ids.site_id; role : mrole; tag : log_tag }
@@ -135,6 +146,7 @@ let routed_to_coord sim ~dst msg =
       | _ -> false)
 
 let clear_timers_for sim site role =
+  (* rt_lint: allow deterministic-iteration -- collects keys to delete; removal is order-insensitive *)
   Hashtbl.fold
     (fun (s, r, t) () acc -> if s = site && r = role then (s, r, t) :: acc else acc)
     sim.timers []
@@ -313,8 +325,10 @@ let pick_event sim =
           Some ev)
 
 let fire_some_timer sim =
-  let enabled = Hashtbl.fold (fun k () acc -> k :: acc) sim.timers [] in
-  let enabled = List.sort compare enabled in
+  let enabled =
+    Hashtbl.fold (fun k () acc -> k :: acc) sim.timers []
+    |> List.sort timer_key_compare
+  in
   match enabled with
   | [] -> false
   | _ ->
@@ -395,7 +409,11 @@ let run ?seed ?(crashes = []) ?(recoveries = []) ?(max_steps = 10_000)
         else continue := false
   done;
   let decisions =
-    List.sort_uniq compare sim.decisions_delivered
+    List.sort_uniq
+      (fun (s1, d1) (s2, d2) ->
+        let c = Int.compare s1 s2 in
+        if c <> 0 then c else decision_compare d1 d2)
+      sim.decisions_delivered
   in
   let agreement =
     match decisions with

@@ -136,6 +136,7 @@ let log_length t = Wal.length t.wal
 let latencies t = t.lat
 
 let active_participants t =
+  (* rt_lint: allow deterministic-iteration -- commutative count *)
   Ids.Txn_map.fold
     (fun _ ctx acc -> if ctx.pt_resolved then acc else acc + 1)
     t.parts 0
@@ -145,22 +146,27 @@ let participant_debug t =
     (fun txn ctx acc ->
       if ctx.pt_resolved then acc
       else
-        Format.asprintf "%a: machine=%s doomed=%s state=%s blocked=%b"
-          Tid.pp txn
-          (if ctx.pt_machine = None then "none" else "yes")
-          (match ctx.pt_doomed with
-          | None -> "no"
-          | Some r -> Format.asprintf "%a" Msg.pp_refusal r)
-          (match ctx.pt_machine with
-          | Some m -> Format.asprintf "%a" P.pp_participant_state m.Erased.pstate
-          | None -> "-")
-          (match ctx.pt_machine with
-          | Some m -> m.Erased.blocked
-          | None -> false)
+        ( txn,
+          Format.asprintf "%a: machine=%s doomed=%s state=%s blocked=%b"
+            Tid.pp txn
+            (if ctx.pt_machine = None then "none" else "yes")
+            (match ctx.pt_doomed with
+            | None -> "no"
+            | Some r -> Format.asprintf "%a" Msg.pp_refusal r)
+            (match ctx.pt_machine with
+            | Some m ->
+                Format.asprintf "%a" P.pp_participant_state m.Erased.pstate
+            | None -> "-")
+            (match ctx.pt_machine with
+            | Some m -> m.Erased.blocked
+            | None -> false) )
         :: acc)
     t.parts []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  |> List.map snd
 
 let blocked_participants t =
+  (* rt_lint: allow deterministic-iteration -- commutative count *)
   Ids.Txn_map.fold
     (fun _ ctx acc ->
       match ctx.pt_machine with
@@ -538,6 +544,7 @@ and maybe_checkpoint t =
     Checkpoint.take t.cp ~kv:t.kv ~lsn:durable;
     (* Keep records needed by unresolved transactions. *)
     let floor =
+      (* rt_lint: allow deterministic-iteration -- commutative minimum *)
       Ids.Txn_map.fold (fun _ lsn acc -> min lsn acc) t.first_lsn (durable + 1)
     in
     let upto = min durable (floor - 1) in
@@ -1230,8 +1237,18 @@ let route_commit_msg t ~src txn (pmsg : P.msg) prepare =
 (* ------------------------------------------------------------------ *)
 
 let all_machines_feed t input =
-  let coords = Ids.Txn_map.fold (fun _ c acc -> c :: acc) t.coords [] in
-  let parts = Ids.Txn_map.fold (fun _ p acc -> p :: acc) t.parts [] in
+  (* Sorted by txn id: feeding a machine emits protocol actions, so the
+     feed order is part of the replayed history. *)
+  let coords =
+    Ids.Txn_map.fold (fun txn c acc -> (txn, c) :: acc) t.coords []
+    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+    |> List.map snd
+  in
+  let parts =
+    Ids.Txn_map.fold (fun txn p acc -> (txn, p) :: acc) t.parts []
+    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+    |> List.map snd
+  in
   List.iter (fun c -> if c.co_machine <> None then feed_coord t c input) coords;
   List.iter (fun p -> if p.pt_machine <> None then feed_part t p input) parts
 
@@ -1316,8 +1333,11 @@ let crash t =
     (* Clients waiting on this coordinator learn the site died. *)
     let pending =
       Ids.Txn_map.fold
-        (fun _ ctx acc -> if ctx.co_finished then acc else ctx :: acc)
+        (fun txn ctx acc ->
+          if ctx.co_finished then acc else (txn, ctx) :: acc)
         t.coords []
+      |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+      |> List.map snd
     in
     List.iter
       (fun ctx ->

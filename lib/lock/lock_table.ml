@@ -237,7 +237,8 @@ let blocking t ~txn =
 
 let wait_for_graph t =
   let g = Wfg.create () in
-  Hashtbl.iter
+  (* Sorted keys: edge insertion order feeds victim selection. *)
+  Rt_sim.Det.iter_sorted ~cmp:String.compare
     (fun _key e ->
       let rec walk ahead = function
         | [] -> ()

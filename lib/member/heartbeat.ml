@@ -38,10 +38,13 @@ let create engine ~self ~peers ~interval ~miss_threshold ~send_beat ~on_down
     epoch = 0;
   }
 
+(* Peers are visited in sorted site order so the on_down/on_up callback
+   and beat-send sequences are a function of the membership, not of
+   hash-table layout — they schedule simulator events. *)
 let check t =
   let now = Engine.now t.engine in
   let deadline = t.miss_threshold * t.interval in
-  Hashtbl.iter
+  Det.iter_sorted ~cmp:Int.compare
     (fun peer st ->
       if st.up && Time.sub now st.last_heard > deadline then begin
         st.up <- false;
@@ -51,7 +54,7 @@ let check t =
 
 let rec tick t epoch () =
   if t.running && t.epoch = epoch then begin
-    Hashtbl.iter (fun peer _ -> t.send_beat peer) t.peers;
+    Det.iter_sorted ~cmp:Int.compare (fun peer _ -> t.send_beat peer) t.peers;
     check t;
     ignore (Engine.schedule_after t.engine t.interval (tick t epoch))
   end
@@ -62,7 +65,7 @@ let start t =
     t.epoch <- t.epoch + 1;
     (* Reset suspicion so a restarted site gives peers a full window. *)
     let now = Engine.now t.engine in
-    Hashtbl.iter (fun _ st -> st.last_heard <- now) t.peers;
+    Det.iter_sorted ~cmp:Int.compare (fun _ st -> st.last_heard <- now) t.peers;
     tick t t.epoch ()
   end
 

@@ -70,7 +70,9 @@ let merge a b =
     invalid_arg "Histogram.merge: mismatched precision";
   let t = create ~precision:a.precision () in
   let blend src =
-    Hashtbl.iter
+    (* Sorted so the merged table's insertion order — and thus any later
+       traversal — is independent of the source tables' layouts. *)
+    Rt_sim.Det.iter_sorted ~cmp:Int.compare
       (fun bk c ->
         let prev = Option.value (Hashtbl.find_opt t.buckets bk) ~default:0 in
         Hashtbl.replace t.buckets bk (prev + c))

@@ -12,7 +12,9 @@ let subset a b = List.for_all (fun x -> List.mem x b) a
 
 let of_quorums qs =
   if qs = [] then invalid_arg "Coterie.of_quorums: empty family";
-  let qs = List.map normalise_quorum qs |> List.sort_uniq compare in
+  let qs =
+    List.map normalise_quorum qs |> List.sort_uniq (List.compare Int.compare)
+  in
   (* Minimality: drop any quorum that strictly contains another. *)
   let minimal =
     List.filter

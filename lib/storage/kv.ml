@@ -12,11 +12,14 @@ let set t ~key ~value ~version = Hashtbl.replace t key { value; version }
 let remove t key = Hashtbl.remove t key
 let mem t key = Hashtbl.mem t key
 let size t = Hashtbl.length t
-let iter t f = Hashtbl.iter f t
 
 let snapshot t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Sorted key order: callers (soak divergence checks, dumps) compare
+   and print what they visit, so the order must be reproducible. *)
+let iter t f = List.iter (fun (k, v) -> f k v) (snapshot t)
 
 let keys t = List.map fst (snapshot t)
 
@@ -28,6 +31,7 @@ let copy t = Hashtbl.copy t
 
 let equal a b =
   Hashtbl.length a = Hashtbl.length b
+  (* rt_lint: allow deterministic-iteration -- order-insensitive conjunction *)
   && Hashtbl.fold
        (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
        a true

@@ -27,6 +27,7 @@ val mem : t -> string -> bool
 val size : t -> int
 
 val iter : t -> (string -> item -> unit) -> unit
+(** Visits entries in ascending key order (replay-deterministic). *)
 
 val keys : t -> string list
 (** Sorted, for deterministic iteration in tests. *)

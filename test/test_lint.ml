@@ -1,0 +1,273 @@
+(* Tests for rt_lint: per rule, an inline fixture that must match, one
+   that must not, and one where an allow-annotation suppresses the
+   finding.  Fixtures are parsed with the same compiler-libs pipeline
+   the real linter uses, so these tests pin both the rule heuristics
+   and the suppression machinery. *)
+
+module D = Rt_lint_core.Driver
+module F = Rt_lint_core.Finding
+
+let rules_of name =
+  match D.find_rule name with
+  | Some r -> [ r ]
+  | None -> Alcotest.failf "unknown rule %s" name
+
+(* Findings of a single rule on an inline unit. *)
+let run ?(file = "lib/fixture/fixture.ml") rule src =
+  D.lint_source ~rules:(rules_of rule) ~file src
+
+let check_count ?file rule ~expect src =
+  Alcotest.(check int)
+    (Printf.sprintf "%s on %S" rule src)
+    expect
+    (List.length (run ?file rule src))
+
+let flags ?file rule src = check_count ?file rule ~expect:1 src
+let clean ?file rule src = check_count ?file rule ~expect:0 src
+
+(* --- no-wall-clock ---------------------------------------------------- *)
+
+let test_wall_clock_match () =
+  flags "no-wall-clock" "let t = Unix.gettimeofday ()";
+  flags "no-wall-clock" "let t = Sys.time ()";
+  check_count "no-wall-clock" ~expect:2
+    "let d = Unix.gettimeofday () -. Unix.time ()"
+
+let test_wall_clock_no_match () =
+  clean "no-wall-clock" "let t engine = Rt_sim.Engine.now engine";
+  (* Unrelated Unix/Sys values stay legal. *)
+  clean "no-wall-clock" "let argv = Sys.argv"
+
+let test_wall_clock_suppressed () =
+  clean "no-wall-clock"
+    "(* rt_lint: allow no-wall-clock -- host-side timing *)\n\
+     let t = Unix.gettimeofday ()";
+  (* Same-line annotation works too. *)
+  clean "no-wall-clock"
+    "let t = Unix.gettimeofday () (* rt_lint: allow no-wall-clock *)"
+
+(* --- no-global-rng ---------------------------------------------------- *)
+
+let test_rng_match () =
+  flags "no-global-rng" "let x = Random.int 10";
+  flags "no-global-rng" "let () = Random.self_init ()";
+  flags "no-global-rng" "let s = Random.State.make [| 1 |]"
+
+let test_rng_no_match () =
+  clean "no-global-rng" "let x rng = Rt_sim.Rng.int rng 10";
+  (* The seeded generator module itself is exempt. *)
+  clean ~file:"lib/sim/rng.ml" "no-global-rng" "let x = Random.int 10"
+
+let test_rng_suppressed () =
+  clean "no-global-rng"
+    "(* rt_lint: allow no-global-rng -- fixture *)\nlet x = Random.int 10"
+
+(* --- no-poly-compare-on-ids ------------------------------------------ *)
+
+let test_poly_compare_match () =
+  flags "no-poly-compare-on-ids" "let sorted l = List.sort compare l";
+  flags "no-poly-compare-on-ids" "let c = Stdlib.compare 1 2";
+  flags "no-poly-compare-on-ids" "let h x = Hashtbl.hash x";
+  (* =/<> on id-ish operands. *)
+  flags "no-poly-compare-on-ids" "let same a tid = a = tid";
+  flags "no-poly-compare-on-ids" "let differ r txn = r.txn <> txn"
+
+let test_poly_compare_no_match () =
+  clean "no-poly-compare-on-ids" "let sorted l = List.sort Int.compare l";
+  clean "no-poly-compare-on-ids"
+    "let eq a b = Ids.Txn_id.equal a b && String.equal \"x\" \"y\"";
+  (* A file that binds its own [compare] may use it bare (Ids.Txn_id,
+     Time, ... shadow the polymorphic one). *)
+  clean "no-poly-compare-on-ids"
+    "let compare a b = Int.compare a b\nlet older a b = compare a b < 0";
+  (* Plain equality on non-id operands is untouched. *)
+  clean "no-poly-compare-on-ids" "let is_root site = site = 0";
+  (* ids.ml owns id hashing. *)
+  clean ~file:"lib/types/ids.ml" "no-poly-compare-on-ids"
+    "let hash t = Hashtbl.hash t"
+
+let test_poly_compare_suppressed () =
+  clean "no-poly-compare-on-ids"
+    "(* rt_lint: allow no-poly-compare-on-ids -- structural tuples *)\n\
+     let sorted l = List.sort compare l"
+
+(* --- deterministic-iteration ----------------------------------------- *)
+
+let test_det_iter_match () =
+  flags "deterministic-iteration"
+    "let dump t = Hashtbl.iter (fun k _ -> print_endline k) t";
+  flags "deterministic-iteration"
+    "let entries t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []";
+  flags "deterministic-iteration"
+    "let txns t = Ids.Txn_map.fold (fun k _ acc -> k :: acc) t []"
+
+let test_det_iter_no_match () =
+  (* A fold piped straight into a sort is the blessed shape. *)
+  clean "deterministic-iteration"
+    "let entries t =\n\
+    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []\n\
+    \  |> List.sort (fun (a, _) (b, _) -> String.compare a b)";
+  clean "deterministic-iteration"
+    "let entries t =\n\
+    \  List.sort cmp (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])";
+  (* Ordered containers are fine. *)
+  clean "deterministic-iteration" "let sum m = M.fold (fun _ v a -> v + a) m 0"
+
+let test_det_iter_suppressed () =
+  clean "deterministic-iteration"
+    "let size t =\n\
+    \  (* rt_lint: allow deterministic-iteration -- commutative count *)\n\
+    \  Hashtbl.fold (fun _ _ n -> n + 1) t 0"
+
+(* --- no-silent-catch-all ---------------------------------------------- *)
+
+let protocol_file = "lib/commit/fixture.ml"
+
+let test_catch_all_match () =
+  flags ~file:protocol_file "no-silent-catch-all"
+    "let step g = try g () with _ -> ()";
+  flags ~file:"lib/storage/fixture.ml" "no-silent-catch-all"
+    "let recover g = try g () with _e -> None | _ -> None"
+
+let test_catch_all_no_match () =
+  (* Named exceptions are deliberate. *)
+  clean ~file:protocol_file "no-silent-catch-all"
+    "let step g = try g () with Not_found -> ()";
+  (* Guarded catch-alls make a decision, not a swallow. *)
+  clean ~file:protocol_file "no-silent-catch-all"
+    "let step g d = try g () with _ when d -> ()";
+  (* Outside the protocol layers the rule is silent. *)
+  clean ~file:"lib/member/fixture.ml" "no-silent-catch-all"
+    "let step g = try g () with _ -> ()"
+
+let test_catch_all_suppressed () =
+  clean ~file:protocol_file "no-silent-catch-all"
+    "let step g =\n\
+    \  (* rt_lint: allow no-silent-catch-all -- fixture *)\n\
+    \  try g () with _ -> ()"
+
+(* --- mli-coverage ------------------------------------------------------ *)
+
+let with_temp_module ~mli f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "rt_lint_test"
+  in
+  let libdir = Filename.concat dir "lib" in
+  if not (Sys.file_exists libdir) then begin
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    Sys.mkdir libdir 0o755
+  end;
+  let ml = Filename.concat libdir "fixture.ml" in
+  let write path = Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "let x = 1\n") in
+  write ml;
+  if mli then write (ml ^ "i") else if Sys.file_exists (ml ^ "i") then
+    Sys.remove (ml ^ "i");
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ ml; ml ^ "i" ])
+    (fun () -> f ml)
+
+let test_mli_match () =
+  with_temp_module ~mli:false (fun ml ->
+      Alcotest.(check int) "missing mli flagged" 1
+        (List.length (D.lint_file ~rules:(rules_of "mli-coverage") ml)))
+
+let test_mli_no_match () =
+  with_temp_module ~mli:true (fun ml ->
+      Alcotest.(check int) "mli present" 0
+        (List.length (D.lint_file ~rules:(rules_of "mli-coverage") ml)));
+  (* Executables don't need interfaces. *)
+  Alcotest.(check int) "bin exempt" 0
+    (List.length
+       (D.lint_source ~rules:(rules_of "mli-coverage") ~file:"bin/soak.ml"
+          "let x = 1"))
+
+let test_mli_suppressed () =
+  with_temp_module ~mli:false (fun ml ->
+      let src =
+        "(* rt_lint: allow-file mli-coverage -- generated fixture *)\n\
+         let x = 1\n"
+      in
+      Out_channel.with_open_bin ml (fun oc -> Out_channel.output_string oc src);
+      Alcotest.(check int) "allow-file honoured" 0
+        (List.length (D.lint_file ~rules:(rules_of "mli-coverage") ml)))
+
+(* --- driver glue ------------------------------------------------------- *)
+
+let test_finding_positions () =
+  match run "no-wall-clock" "let a = 1\nlet t = Unix.gettimeofday ()" with
+  | [ f ] ->
+      Alcotest.(check int) "line" 2 f.F.line;
+      Alcotest.(check int) "col" 8 f.F.col;
+      Alcotest.(check string) "rule" "no-wall-clock" f.F.rule
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_all_rules_at_once () =
+  (* One unit tripping several rules; the driver reports each, sorted. *)
+  let src =
+    "let t = Unix.gettimeofday ()\nlet x = Random.int 10\n" in
+  let fs = D.lint_source ~file:"lib/fixture/fixture.ml" src in
+  let rules = List.map (fun (f : F.t) -> f.F.rule) fs in
+  Alcotest.(check (list string))
+    "rules in order"
+    [ "mli-coverage"; "no-wall-clock"; "no-global-rng" ]
+    rules
+
+let test_suppression_is_per_rule () =
+  (* An allow for one rule must not silence another on the same line. *)
+  let src =
+    "(* rt_lint: allow no-global-rng -- wrong rule *)\n\
+     let t = Unix.gettimeofday ()"
+  in
+  Alcotest.(check int) "still flagged" 1
+    (List.length
+       (D.lint_source ~rules:(rules_of "no-wall-clock")
+          ~file:"lib/fixture/fixture.ml" src))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "no-wall-clock",
+        [
+          Alcotest.test_case "match" `Quick test_wall_clock_match;
+          Alcotest.test_case "no match" `Quick test_wall_clock_no_match;
+          Alcotest.test_case "suppressed" `Quick test_wall_clock_suppressed;
+        ] );
+      ( "no-global-rng",
+        [
+          Alcotest.test_case "match" `Quick test_rng_match;
+          Alcotest.test_case "no match" `Quick test_rng_no_match;
+          Alcotest.test_case "suppressed" `Quick test_rng_suppressed;
+        ] );
+      ( "no-poly-compare-on-ids",
+        [
+          Alcotest.test_case "match" `Quick test_poly_compare_match;
+          Alcotest.test_case "no match" `Quick test_poly_compare_no_match;
+          Alcotest.test_case "suppressed" `Quick test_poly_compare_suppressed;
+        ] );
+      ( "deterministic-iteration",
+        [
+          Alcotest.test_case "match" `Quick test_det_iter_match;
+          Alcotest.test_case "no match" `Quick test_det_iter_no_match;
+          Alcotest.test_case "suppressed" `Quick test_det_iter_suppressed;
+        ] );
+      ( "no-silent-catch-all",
+        [
+          Alcotest.test_case "match" `Quick test_catch_all_match;
+          Alcotest.test_case "no match" `Quick test_catch_all_no_match;
+          Alcotest.test_case "suppressed" `Quick test_catch_all_suppressed;
+        ] );
+      ( "mli-coverage",
+        [
+          Alcotest.test_case "match" `Quick test_mli_match;
+          Alcotest.test_case "no match" `Quick test_mli_no_match;
+          Alcotest.test_case "suppressed" `Quick test_mli_suppressed;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "positions" `Quick test_finding_positions;
+          Alcotest.test_case "multi-rule" `Quick test_all_rules_at_once;
+          Alcotest.test_case "per-rule suppression" `Quick
+            test_suppression_is_per_rule;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+(* Parse units, run the rule set, apply suppressions, collect files. *)
+
+exception Parse_error of string
+
+let all_rules : (module Rule.S) list =
+  [
+    (module Rule_wall_clock);
+    (module Rule_rng);
+    (module Rule_poly_compare);
+    (module Rule_det_iter);
+    (module Rule_catch_all);
+    (module Rule_mli);
+  ]
+
+let rule_names rules =
+  List.map (fun (module R : Rule.S) -> R.name) rules
+
+let find_rule name =
+  List.find_opt (fun (module R : Rule.S) -> R.name = name) all_rules
+
+let parse_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  try Parse.implementation lexbuf
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    raise (Parse_error (Printf.sprintf "%s: %s" file msg))
+
+(* Lint one unit given as a string.  [file] decides path-sensitive
+   rules; suppression comments are honoured.  This is the entry point
+   the test suite drives with inline fixtures. *)
+let lint_source ?(rules = all_rules) ~file source =
+  let structure = parse_source ~file source in
+  let ctx = { Rule.file } in
+  let sup = Suppress.scan ~known:(rule_names all_rules) source in
+  List.concat_map (fun (module R : Rule.S) -> R.check ctx structure) rules
+  |> List.filter (fun (f : Finding.t) ->
+         not (Suppress.suppressed sup ~rule:f.rule ~line:f.line))
+  |> List.sort Finding.compare
+
+let read_file file =
+  In_channel.with_open_bin file In_channel.input_all
+
+let lint_file ?rules file = lint_source ?rules ~file (read_file file)
+
+(* Every .ml under the given roots (files are taken as-is), sorted so
+   the report — and therefore CI output — is stable. *)
+let collect_ml_files roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry ->
+             if entry <> "" && entry.[0] <> '_' && entry.[0] <> '.' then
+               walk (Filename.concat path entry))
+    else if Filename.check_suffix path ".ml" then acc := path :: !acc
+  in
+  List.iter walk roots;
+  List.sort String.compare !acc

@@ -1,0 +1,36 @@
+(* A single lint diagnostic: where, which rule, and why it matters. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make_at ~rule ~file ~line ~col ~message = { rule; file; line; col; message }
+
+let make ~rule ~loc ~message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

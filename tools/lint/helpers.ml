@@ -1,0 +1,69 @@
+(* Shared AST plumbing for rules. *)
+
+open Parsetree
+
+let flatten_ident (lid : Longident.t) : string list =
+  (* Lapply never appears in value positions we inspect; be defensive. *)
+  try Longident.flatten lid with _ -> []
+
+(* Drop an explicit [Stdlib.] qualifier so [Stdlib.compare] and bare
+   [compare] normalise to the same path. *)
+let norm_path = function "Stdlib" :: rest -> rest | p -> p
+
+let string_of_path = String.concat "."
+
+(* Run [f] on every expression in the structure, in syntactic order. *)
+let iter_exprs (structure : structure) (f : expression -> unit) : unit =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure
+
+(* Run [f] on every pattern in the structure (covers let-bindings at any
+   depth, match cases, function arguments). *)
+let iter_pats (structure : structure) (f : pattern -> unit) : unit =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          f p;
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.structure it structure
+
+(* Follow nested applications down to the function being applied:
+   [head_expr (f a b)] is the expression node for [f]. *)
+let rec head_expr e =
+  match e.pexp_desc with Pexp_apply (f, _) -> head_expr f | _ -> e
+
+(* The final identifier segment an expression reads from, if any:
+   [x] -> "x", [r.txn] -> "txn", [(e : t)] -> recurse.  Used for the
+   id-ish operand heuristic. *)
+let rec last_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (flatten_ident txt) with n :: _ -> Some n | [] -> None)
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (flatten_ident txt) with n :: _ -> Some n | [] -> None)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> last_name e
+  | _ -> None
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (norm_path (flatten_ident txt))
+  | _ -> None
+
+(* Path-segment membership: [has_segment "lib" "lib/cc/occ.ml"]. *)
+let has_segment seg file = List.mem seg (String.split_on_char '/' file)
+
+let path_ends_with ~suffix file =
+  let lf = String.length file and ls = String.length suffix in
+  ls <= lf && String.sub file (lf - ls) ls = suffix

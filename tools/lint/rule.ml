@@ -1,0 +1,20 @@
+(* Rule interface: each rule is a module that inspects one parsed
+   compilation unit and reports findings.  Rules are purely syntactic —
+   they see the Parsetree, never types — so each one documents the
+   heuristic it applies and the escape hatch is an explicit
+   [rt_lint: allow] annotation with a justification. *)
+
+type ctx = { file : string }
+(** [file] is the path the unit was loaded from (or a caller-supplied
+    pseudo-path in tests).  Path-sensitive rules (rng exemption,
+    protocol-only rules, mli coverage) key off its segments. *)
+
+module type S = sig
+  val name : string
+  (** Stable rule id, used in findings and allow-annotations. *)
+
+  val doc : string
+  (** One-paragraph rationale shown by [rt_lint --list-rules]. *)
+
+  val check : ctx -> Parsetree.structure -> Finding.t list
+end

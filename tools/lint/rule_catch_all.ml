@@ -1,0 +1,53 @@
+(* no-silent-catch-all: a [try ... with _ ->] inside a protocol step
+   function converts any bug — an assertion in the commit state machine,
+   an out-of-range vote count, a broken WAL invariant — into a silently
+   wrong protocol transition.  Gray & Lamport's framing is that commit
+   protocols are invariant-checking problems; swallowing the exception
+   swallows the invariant violation.  Scope is the protocol layers
+   (lib/commit, lib/cc, lib/storage); drivers and examples may still
+   use broad handlers. *)
+
+open Parsetree
+
+let name = "no-silent-catch-all"
+
+let doc =
+  "Flags catch-all exception handlers (try ... with _ ->) in protocol \
+   step code under lib/commit, lib/cc, lib/storage.  Match the \
+   exceptions a step can actually raise, or let the violation \
+   propagate to the harness."
+
+let protocol_dirs = [ "commit"; "cc"; "storage" ]
+
+let in_scope file =
+  Helpers.has_segment "lib" file
+  && List.exists (fun d -> Helpers.has_segment d file) protocol_dirs
+
+let rec catch_all p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_all p
+  | Ppat_or (a, b) -> catch_all a || catch_all b
+  | _ -> false
+
+let check (ctx : Rule.ctx) structure =
+  if not (in_scope ctx.file) then []
+  else begin
+    let findings = ref [] in
+    Helpers.iter_exprs structure (fun e ->
+        match e.pexp_desc with
+        | Pexp_try (_, cases) ->
+            List.iter
+              (fun c ->
+                if c.pc_guard = None && catch_all c.pc_lhs then
+                  findings :=
+                    Finding.make ~rule:name ~loc:c.pc_lhs.ppat_loc
+                      ~message:
+                        "catch-all handler swallows protocol invariant \
+                         violations; match specific exceptions or \
+                         reraise"
+                    :: !findings)
+              cases
+        | _ -> ());
+    !findings
+  end

@@ -1,0 +1,84 @@
+(* deterministic-iteration: Hashtbl.iter/fold visit buckets in layout
+   order — a function of insertion history and initial size, not of the
+   keys.  Any list, log line, metrics row, or callback sequence built
+   from such a traversal is only accidentally stable; resizing the table
+   or reordering inserts silently permutes replay.  The fix is to
+   traverse in sorted key order (Rt_sim.Det) or sort the collected
+   result.
+
+   The rule recognises the one safe syntactic shape — a fold whose
+   result is sorted in the same expression:
+
+     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort cmp
+
+   (also [List.sort cmp (Hashtbl.fold ...)] and the [@@] spelling).
+   Order-insensitive traversals (commutative accumulation, pure
+   side-effect-free conjunctions) are annotated case by case. *)
+
+open Parsetree
+
+let name = "deterministic-iteration"
+
+let doc =
+  "Flags Hashtbl.iter/fold/to_seq (and Txn_map.*) whose result is not \
+   sorted in the same expression.  Bucket order is not key order: \
+   iterate via Rt_sim.Det.iter_sorted / fold_sorted, or pipe the fold \
+   straight into List.sort; annotate genuinely order-insensitive \
+   traversals."
+
+let iter_fns = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let is_hash_iter_path path =
+  match List.rev path with
+  | fn :: m :: _ -> (m = "Hashtbl" || m = "Txn_map") && List.mem fn iter_fns
+  | _ -> false
+
+let is_hash_iter_ident e =
+  match Helpers.ident_path e with
+  | Some p -> is_hash_iter_path p
+  | None -> false
+
+let sort_fns =
+  [
+    [ "List"; "sort" ];
+    [ "List"; "sort_uniq" ];
+    [ "List"; "stable_sort" ];
+    [ "List"; "fast_sort" ];
+  ]
+
+let is_sortish e =
+  match Helpers.ident_path (Helpers.head_expr e) with
+  | Some p -> List.mem p sort_fns
+  | None -> false
+
+let check (_ctx : Rule.ctx) structure =
+  (* Pass 1: collect the iteration idents excused by an enclosing sort.
+     Physical identity is enough — each node is visited once. *)
+  let exempt = ref [] in
+  let excuse e = if is_hash_iter_ident (Helpers.head_expr e) then exempt := Helpers.head_expr e :: !exempt in
+  Helpers.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (op, args) -> (
+          match (Helpers.ident_path op, args) with
+          | Some [ "|>" ], [ (_, lhs); (_, rhs) ] when is_sortish rhs ->
+              excuse lhs
+          | Some [ "@@" ], [ (_, lhs); (_, rhs) ] when is_sortish lhs ->
+              excuse rhs
+          | _ -> if is_sortish e then List.iter (fun (_, a) -> excuse a) args)
+      | _ -> ());
+  (* Pass 2: flag every remaining iteration ident. *)
+  let findings = ref [] in
+  Helpers.iter_exprs structure (fun e ->
+      match Helpers.ident_path e with
+      | Some path
+        when is_hash_iter_path path && not (List.memq e !exempt) ->
+          findings :=
+            Finding.make ~rule:name ~loc:e.pexp_loc
+              ~message:
+                (Printf.sprintf
+                   "%s traverses in bucket order; iterate sorted \
+                    (Rt_sim.Det) or sort the result in this expression"
+                   (Helpers.string_of_path path))
+            :: !findings
+      | _ -> ());
+  !findings

@@ -1,0 +1,25 @@
+(* mli-coverage: an .ml without an .mli exports every helper, letting
+   callers reach into scheduler internals and freeze accidental API.
+   Interface files are also where the determinism contracts of this
+   codebase live (which operations are replay-safe, which orders are
+   guaranteed); library modules must state them. *)
+
+let name = "mli-coverage"
+
+let doc =
+  "Every .ml under lib/ must have a companion .mli.  Executables \
+   (bin/, bench/, examples/) and tests are exempt."
+
+let check (ctx : Rule.ctx) (_ : Parsetree.structure) =
+  if
+    Helpers.has_segment "lib" ctx.file
+    && Filename.check_suffix ctx.file ".ml"
+    && not (Sys.file_exists (ctx.file ^ "i"))
+  then
+    [
+      Finding.make_at ~rule:name ~file:ctx.file ~line:1 ~col:0
+        ~message:
+          (Printf.sprintf "library module has no interface; add %si"
+             (Filename.basename ctx.file));
+    ]
+  else []

@@ -1,0 +1,90 @@
+(* no-poly-compare-on-ids: polymorphic compare walks structure, so it
+   keeps "working" when a type gains a field whose representation order
+   differs from its semantic order (mutable state, abstract timestamps,
+   closures — a runtime crash).  Transaction and site ids have dedicated
+   Ids.*.equal/compare; replay divergence historically sneaks in through
+   a stray [=] on an id or a [List.sort compare] on id pairs.
+
+   Being untyped, the rule applies three heuristics:
+   - [Hashtbl.hash] outside lib/types/ids.ml (ids own their hashing);
+   - [compare] used as a value — always for [Stdlib.compare], and for
+     bare [compare] unless the file binds its own [compare] (module- or
+     let-level), which is how Ids.Txn_id and friends shadow it;
+   - [=] / [<>] / [==] / [!=] where an operand's last identifier segment
+     is id-ish (tid, txn, txn_id, or *_tid / *_txn / *_txn_id). *)
+
+open Parsetree
+
+let name = "no-poly-compare-on-ids"
+
+let doc =
+  "Flags polymorphic compare / Hashtbl.hash where a dedicated \
+   comparator exists: Stdlib.compare (and unshadowed bare compare) \
+   anywhere, Hashtbl.hash outside lib/types/ids.ml, and =/<> applied \
+   to id-ish operands (tid, txn, txn_id).  Use Int.compare, \
+   String.compare, Ids.Txn_id.equal/compare, ..."
+
+let idish n =
+  let n = String.lowercase_ascii n in
+  n = "tid" || n = "txn" || n = "txn_id"
+  || Helpers.path_ends_with ~suffix:"_tid" n
+  || Helpers.path_ends_with ~suffix:"_txn" n
+  || Helpers.path_ends_with ~suffix:"_txn_id" n
+
+let eq_ops = [ [ "=" ]; [ "<>" ]; [ "==" ]; [ "!=" ] ]
+
+let binds_compare structure =
+  let found = ref false in
+  Helpers.iter_pats structure (fun p ->
+      match p.ppat_desc with
+      | Ppat_var { txt = "compare"; _ } -> found := true
+      | _ -> ());
+  !found
+
+let check (ctx : Rule.ctx) structure =
+  let findings = ref [] in
+  let add loc message =
+    findings := Finding.make ~rule:name ~loc ~message :: !findings
+  in
+  let compare_shadowed = binds_compare structure in
+  let ids_file = Helpers.path_ends_with ~suffix:"lib/types/ids.ml" ctx.file in
+  Helpers.iter_exprs structure (fun e ->
+      (match e.pexp_desc with
+      | Pexp_apply (op, args) -> (
+          match Helpers.ident_path op with
+          | Some path when List.mem path eq_ops ->
+              let id_arg =
+                List.find_map
+                  (fun (_, a) ->
+                    match Helpers.last_name a with
+                    | Some n when idish n -> Some n
+                    | _ -> None)
+                  args
+              in
+              Option.iter
+                (fun n ->
+                  add op.pexp_loc
+                    (Printf.sprintf
+                       "polymorphic (%s) on id-ish operand '%s'; use \
+                        Ids.Txn_id.equal / a dedicated comparator"
+                       (Helpers.string_of_path path) n))
+                id_arg
+          | _ -> ())
+      | _ -> ());
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> (
+          let raw = Helpers.flatten_ident txt in
+          match Helpers.norm_path raw with
+          | [ "Hashtbl"; "hash" ] when not ids_file ->
+              add e.pexp_loc
+                "Hashtbl.hash is polymorphic; hash through the id \
+                 module's own hash (Ids.Txn_id.hash)"
+          | [ "compare" ] | [ "Pervasives"; "compare" ] ->
+              let qualified = raw <> [ "compare" ] in
+              if qualified || not compare_shadowed then
+                add e.pexp_loc
+                  "polymorphic compare; use a type-specific comparator \
+                   (Int.compare, String.compare, Ids.Txn_id.compare, ...)"
+          | _ -> ())
+      | _ -> ());
+  !findings

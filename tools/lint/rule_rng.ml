@@ -1,0 +1,38 @@
+(* no-global-rng: stdlib Random is process-global, seedable from the
+   environment (Random.self_init), and shared across every caller —
+   exactly the state the deterministic simulator must not touch.  All
+   randomness flows through the explicitly seeded, splittable
+   Rt_sim.Rng that the engine threads through the run. *)
+
+open Parsetree
+
+let name = "no-global-rng"
+
+let doc =
+  "Bans stdlib Random.* everywhere except lib/sim/rng.ml.  All \
+   randomness must come from the seeded Rt_sim.Rng a run is created \
+   with; global RNG state silently diverges replays."
+
+(* The one module allowed to reference stdlib Random (it currently
+   doesn't — the generator is hand-rolled splitmix64 — but the exemption
+   documents where such a dependency would have to live). *)
+let exempt_file file = Helpers.path_ends_with ~suffix:"lib/sim/rng.ml" file
+
+let check (ctx : Rule.ctx) structure =
+  if exempt_file ctx.file then []
+  else begin
+    let findings = ref [] in
+    Helpers.iter_exprs structure (fun e ->
+        match Helpers.ident_path e with
+        | Some ("Random" :: _ :: _ as path) ->
+            findings :=
+              Finding.make ~rule:name ~loc:e.pexp_loc
+                ~message:
+                  (Printf.sprintf
+                     "global %s bypasses the seeded simulator RNG; draw \
+                      from the Rt_sim.Rng threaded through the run"
+                     (Helpers.string_of_path path))
+              :: !findings
+        | _ -> ());
+    !findings
+  end

@@ -1,0 +1,44 @@
+(* no-wall-clock: the simulation's experiment tables are reproducible
+   only because every timestamp flows through the discrete-event clock
+   (Rt_sim.Time / Engine.now).  A single host-clock read makes latencies
+   depend on the machine running the binary and breaks seed-for-seed
+   replay of histories. *)
+
+open Parsetree
+
+let name = "no-wall-clock"
+
+let doc =
+  "Bans host-clock primitives (Sys.time, Unix.gettimeofday/time, \
+   localtime, gmtime, sleep).  Simulated code must read time from \
+   Rt_sim.Time / Rt_sim.Engine.now so the same seed replays the same \
+   history.  Host-side progress reporting in drivers may be \
+   allow-annotated with a justification."
+
+let banned =
+  [
+    [ "Sys"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "gmtime" ];
+    [ "Unix"; "mktime" ];
+    [ "Unix"; "sleep" ];
+    [ "Unix"; "sleepf" ];
+  ]
+
+let check (_ctx : Rule.ctx) structure =
+  let findings = ref [] in
+  Helpers.iter_exprs structure (fun e ->
+      match Helpers.ident_path e with
+      | Some path when List.mem path banned ->
+          findings :=
+            Finding.make ~rule:name ~loc:e.pexp_loc
+              ~message:
+                (Printf.sprintf
+                   "wall-clock primitive %s; simulated time must flow \
+                    through Rt_sim.Time / Engine.now"
+                   (Helpers.string_of_path path))
+            :: !findings
+      | _ -> ());
+  !findings

@@ -1,0 +1,87 @@
+(* Allow-annotations.  Two spellings, both inside ordinary comments:
+
+     (* rt_lint: allow <rule>[, <rule>...] -- justification *)
+     (* rt_lint: allow-file <rule>[, <rule>...] -- justification *)
+
+   [allow] suppresses matching findings on the same line or the line
+   directly below the annotation (so it can sit on its own line above
+   the flagged expression).  [allow-file] suppresses the rule for the
+   whole file; reserve it for modules whose job is the exempted
+   operation itself.
+
+   The scanner is textual, not lexical: it looks for "rt_lint:"
+   anywhere in the source.  Tokens after the directive are only
+   honoured when they name a known rule, so a justification can follow
+   without a separator — though "--" is the conventional one. *)
+
+type t = {
+  line_allows : (int * string) list;  (* annotation line -> rule *)
+  file_allows : string list;
+}
+
+let marker = "rt_lint:"
+
+(* All indices at which [sub] occurs in [s]. *)
+let occurrences s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go acc i =
+    if i + m > n then List.rev acc
+    else if String.sub s i m = sub then go (i :: acc) (i + m)
+    else go acc (i + 1)
+  in
+  go [] 0
+
+let line_of source idx =
+  let line = ref 1 in
+  for i = 0 to idx - 1 do
+    if source.[i] = '\n' then incr line
+  done;
+  !line
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+(* Split [s] into word tokens, stopping at a comment close or an
+   explicit "--" separator. *)
+let cut sep s =
+  let n = String.length s and m = String.length sep in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub s 0 i | None -> s
+
+let tokens s =
+  let s = s |> cut "*)" |> cut "--" |> cut "\n" in
+  String.fold_left
+    (fun (acc, cur) c ->
+      if is_word_char c then (acc, cur ^ String.make 1 c)
+      else if cur = "" then (acc, "")
+      else (cur :: acc, ""))
+    ([], "") s
+  |> fun (acc, cur) -> List.rev (if cur = "" then acc else cur :: acc)
+
+let scan ~known source =
+  let line_allows = ref [] and file_allows = ref [] in
+  List.iter
+    (fun idx ->
+      let after = idx + String.length marker in
+      let rest = String.sub source after (String.length source - after) in
+      match tokens rest with
+      | directive :: names when directive = "allow" || directive = "allow-file"
+        ->
+          let rules = List.filter (fun n -> List.mem n known) names in
+          if directive = "allow" then
+            let line = line_of source idx in
+            List.iter (fun r -> line_allows := (line, r) :: !line_allows) rules
+          else List.iter (fun r -> file_allows := r :: !file_allows) rules
+      | _ -> ())
+    (occurrences source marker);
+  { line_allows = !line_allows; file_allows = !file_allows }
+
+let suppressed t ~rule ~line =
+  List.mem rule t.file_allows
+  || List.exists
+       (fun (l, r) -> r = rule && (l = line || l = line - 1))
+       t.line_allows
