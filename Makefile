@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench clean
+.PHONY: all build test lint bench crash clean
 
 all: build
 
@@ -13,6 +13,11 @@ lint:
 
 bench:
 	dune exec bench/main.exe
+
+# Exhaustive crash-recovery fault injection (see docs/RECOVERY.md).
+# Exits non-zero when any invariant violation is found.
+crash:
+	dune exec bin/crashpoints.exe
 
 clean:
 	dune clean

@@ -144,6 +144,51 @@ let pp_input fmt = function
   | Peers_reachable l ->
       Format.fprintf fmt "peers-reachable(%d)" (List.length l)
 
+let msg_point = function
+  | Vote_req -> "vote-req"
+  | Vote_yes -> "vote-yes"
+  | Vote_no -> "vote-no"
+  | Vote_read_only -> "vote-read-only"
+  | Precommit_msg -> "precommit"
+  | Precommit_ack -> "precommit-ack"
+  | Decision_msg Commit -> "decision-commit"
+  | Decision_msg Abort -> "decision-abort"
+  | Decision_ack -> "decision-ack"
+  | Decision_req -> "decision-req"
+  | Decision_unknown -> "decision-unknown"
+  | State_req -> "state-req"
+  | State_report _ -> "state-report"
+  | Pq_state_req _ -> "pq-state-req"
+  | Pq_state_report _ -> "pq-state-report"
+  | Pq_precommit _ -> "pq-precommit"
+  | Pq_precommit_ack _ -> "pq-precommit-ack"
+  | Pq_preabort _ -> "pq-preabort"
+  | Pq_preabort_ack _ -> "pq-preabort-ack"
+
+let log_tag_point = function
+  | L_collecting -> "collecting"
+  | L_prepared -> "prepared"
+  | L_precommit -> "precommit"
+  | L_preabort -> "preabort"
+  | L_decision Commit -> "decision-commit"
+  | L_decision Abort -> "decision-abort"
+  | L_end -> "end"
+
+let timer_point = function
+  | T_votes -> "votes"
+  | T_decision -> "decision"
+  | T_precommit_ack -> "precommit-ack"
+  | T_state -> "state"
+  | T_resend -> "resend"
+
+let input_point = function
+  | Start -> "start"
+  | Recv (_, m) -> "recv-" ^ msg_point m
+  | Log_done tag -> "logged-" ^ log_tag_point tag
+  | Timeout t -> "timeout-" ^ timer_point t
+  | Peer_down _ -> "peer-down"
+  | Peers_reachable _ -> "peers-reachable"
+
 type timeouts = {
   vote_collect : Rt_sim.Time.t;
   decision_wait : Rt_sim.Time.t;

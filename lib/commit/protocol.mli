@@ -126,6 +126,12 @@ type input =
 
 val pp_input : Format.formatter -> input -> unit
 
+val input_point : input -> string
+(** Stable, site-free name of the step boundary an input represents, e.g.
+    ["recv-decision-commit"], ["logged-prepared"], ["timeout-votes"].  The
+    crash-point sweep keys injections on these names (plus an occurrence
+    index, since the same point can recur). *)
+
 (** Timeout configuration shared by all machines. *)
 type timeouts = {
   vote_collect : Rt_sim.Time.t;  (** Coordinator waits for votes. *)

@@ -295,6 +295,14 @@ let part_step p input =
         let p, actions = finish p Abort ~ack:false in
         (p, (Send (p.p_coordinator, Vote_no) :: Log (L_decision Abort, `Lazy)
              :: actions))
+  | P_idle, Recv (_, Decision_msg d) ->
+      (* A decision can reach us before any vote request does — a
+         recovered coordinator redistributes its logged decision to every
+         participant, including ones whose vote request died with it.
+         The coordinator is authoritative: adopt the outcome (and ack per
+         the variant) instead of dropping it, or its resends never
+         stop. *)
+      receive_decision p d
   | P_logging_prepared, Log_done L_prepared ->
       ( { p with p_phase = P_wait_decision { blocked = false } },
         [ Send (p.p_coordinator, Vote_yes);
@@ -317,8 +325,18 @@ let part_step p input =
   | P_finished d, Recv (src, Decision_req) -> (p, [ Send (src, Decision_msg d) ])
   | P_forgotten, Recv (src, Decision_req) ->
       (p, [ Send (src, Decision_unknown) ])
+  | (P_idle | P_logging_prepared), Recv (src, Decision_req) ->
+      (* Asked before we have anything to say. *)
+      (p, [ Send (src, Decision_unknown) ])
   | P_finished d, Recv (_, Decision_msg d') when decision_equal d d' ->
       (* Duplicate decision: the coordinator missed our ack; re-ack. *)
+      if needs_acks p.p_variant d then
+        (p, [ Send (p.p_coordinator, Decision_ack) ])
+      else (p, [])
+  | P_forgotten, Recv (_, Decision_msg d) ->
+      (* Voted read-only and released: nothing to apply, but an
+         ack-collecting coordinator cannot know that — acknowledge so it
+         stops resending. *)
       if needs_acks p.p_variant d then
         (p, [ Send (p.p_coordinator, Decision_ack) ])
       else (p, [])

@@ -30,6 +30,7 @@ type t = {
   heartbeat_miss : int;
   recovery_per_record : Time.t;
   checkpoint_every : int;
+  orphan_window_factor : int;
   probe_deadlocks : bool;
   read_only_optimization : bool;
   seed : int;
@@ -57,6 +58,7 @@ let default ?(sites = 3) () =
     heartbeat_miss = 3;
     recovery_per_record = Time.us 5;
     checkpoint_every = 0;
+    orphan_window_factor = 10;
     probe_deadlocks = false;
     read_only_optimization = false;
     seed = 0;
@@ -64,6 +66,8 @@ let default ?(sites = 3) () =
 
 let validate t =
   if t.sites <= 0 then invalid_arg "Config: sites must be positive";
+  if t.orphan_window_factor < 1 then
+    invalid_arg "Config: orphan_window_factor must be at least 1";
   (match t.replica_control with
   | Rt_replica.Replica_control.Primary_copy p ->
       if p < 0 || p >= t.sites then

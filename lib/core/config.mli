@@ -35,6 +35,11 @@ type t = {
   recovery_per_record : Time.t;  (** Restart replay cost per log record. *)
   checkpoint_every : int;
       (** Take a checkpoint every n committed transactions (0 = never). *)
+  orphan_window_factor : int;
+      (** A participant context whose commit machine never arrives is
+          aborted locally after [orphan_window_factor * decision_wait]
+          (the coordinator died before phase 1 reached us).  Must be at
+          least 1; default 10. *)
   probe_deadlocks : bool;
       (** Detect distributed deadlocks with Chandy–Misra–Haas edge-chasing
           probes instead of waiting out the lock timeout (which remains as

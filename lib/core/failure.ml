@@ -50,3 +50,34 @@ let random_crashes cluster ~mttf ~mttr ?(protect = []) () =
   p
 
 let stop p = p.running <- false
+
+(* --- crash-point fault injection ------------------------------------- *)
+
+let observe_crash_points cluster =
+  let engine = Cluster.engine cluster in
+  let seen = ref [] in
+  Engine.set_crash_hook engine
+    (Some (fun ~site ~point -> seen := (site, point) :: !seen));
+  fun () -> List.rev !seen
+
+let clear_crash_points cluster =
+  Engine.set_crash_hook (Cluster.engine cluster) None
+
+let crash_at_point cluster ~site ~point ~occurrence ~recover_after =
+  let engine = Cluster.engine cluster in
+  let count = ref 0 in
+  let fired = ref false in
+  Engine.set_crash_hook engine
+    (Some
+       (fun ~site:s ~point:p ->
+         if (not !fired) && s = site && String.equal p point then begin
+           incr count;
+           if !count = occurrence then begin
+             fired := true;
+             Cluster.crash_site cluster site;
+             ignore
+               (Engine.schedule_after engine recover_after (fun () ->
+                    Cluster.recover_site cluster site))
+           end
+         end));
+  fun () -> !fired

@@ -28,3 +28,33 @@ val random_crashes :
     {!stop}. *)
 
 val stop : process -> unit
+
+(** {1 Crash-point fault injection}
+
+    Instrumented components announce named execution points (see
+    {!Rt_sim.Engine.crash_point}); these helpers install the engine hook
+    that either records the stream of points (discovery pass) or crashes a
+    site at an exact occurrence of one (injection pass).  At most one hook
+    is active per engine — installing a new one replaces the old. *)
+
+val observe_crash_points : Cluster.t -> unit -> (Ids.site_id * string) list
+(** [observe_crash_points cluster] starts recording every announced point;
+    the returned thunk yields the stream so far, in announcement order. *)
+
+val crash_at_point :
+  Cluster.t ->
+  site:Ids.site_id ->
+  point:string ->
+  occurrence:int ->
+  recover_after:Time.t ->
+  unit ->
+  bool
+(** [crash_at_point cluster ~site ~point ~occurrence ~recover_after] crashes
+    [site] the [occurrence]-th time (1-based) it announces [point], then
+    schedules its recovery [recover_after] later.  Fires at most once per
+    installation.  The returned thunk reports whether the injection
+    happened — a discovery-pass point that is never reached again under the
+    same seed is a determinism violation. *)
+
+val clear_crash_points : Cluster.t -> unit
+(** Remove the engine's crash-point hook. *)

@@ -53,6 +53,7 @@ type part_ctx = {
   mutable pt_machine : Erased.t option;
   mutable pt_doomed : Msg.refusal option;
   mutable pt_resolved : bool;
+  mutable pt_sweep : Engine.event_id option;  (* orphan-sweep timer *)
   pt_timers : (P.timer, Engine.event_id) Hashtbl.t;
   mutable pt_waits : wait list;
   mutable pt_to_keys : string list;  (* keys carrying our TO pending mark *)
@@ -121,6 +122,10 @@ type t = {
   parts : part_ctx Ids.Txn_map.t;
   coords : coord_ctx Ids.Txn_map.t;
   presumed : P.decision Ids.Txn_map.t;
+  (* Genuine outcomes only (local deliver / durable log), unlike
+     [presumed] which also holds abort pledges for transactions this site
+     never took part in.  The crash-sweep agreement audit reads this. *)
+  decided : P.decision Ids.Txn_map.t;
   first_lsn : Wal.lsn Ids.Txn_map.t;
   mutable txn_seq : int;
   mutable commits_since_cp : int;
@@ -174,6 +179,22 @@ let blocked_participants t =
       | _ -> acc)
     t.parts 0
 
+let decided_txns t =
+  Ids.Txn_map.fold (fun txn d acc -> (txn, d) :: acc) t.decided []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+
+let held_locks t = Lock.locked_keys t.locks
+
+let pending_protocol_timers t =
+  (* rt_lint: allow deterministic-iteration -- commutative count *)
+  Ids.Txn_map.fold
+    (fun _ ctx acc -> acc + Hashtbl.length ctx.pt_timers)
+    t.parts 0
+  + (* rt_lint: allow deterministic-iteration -- commutative count *)
+  Ids.Txn_map.fold
+    (fun _ ctx acc -> acc + Hashtbl.length ctx.co_timers)
+    t.coords 0
+
 let create ~engine ~id ~config ~send ~counters =
   Config.validate config;
   {
@@ -183,7 +204,7 @@ let create ~engine ~id ~config ~send ~counters =
     send_raw = send;
     counters;
     kv = Kv.create ();
-    wal = Wal.create engine ~force_latency:config.force_latency ();
+    wal = Wal.create ~owner:id engine ~force_latency:config.force_latency ();
     cp = Checkpoint.create ();
     locks = Lock.create ();
     to_table = Hashtbl.create 256;
@@ -194,6 +215,7 @@ let create ~engine ~id ~config ~send ~counters =
     parts = Ids.Txn_map.create 64;
     coords = Ids.Txn_map.create 64;
     presumed = Ids.Txn_map.create 64;
+    decided = Ids.Txn_map.create 64;
     first_lsn = Ids.Txn_map.create 64;
     txn_seq = 0;
     commits_since_cp = 0;
@@ -339,6 +361,7 @@ let get_or_create_part t txn =
           pt_machine = None;
           pt_doomed = None;
           pt_resolved = false;
+          pt_sweep = None;
           pt_timers = Hashtbl.create 4;
           pt_waits = [];
           pt_to_keys = [];
@@ -350,23 +373,38 @@ let get_or_create_part t txn =
          locks would be held forever.  A machine-less context still
          unresolved after a generous window is aborted locally — the
          coordinator, if alive, sees refusals and aborts the whole
-         transaction, so this is always safe. *)
-      let orphan_window = 10 * t.config.commit_timeouts.decision_wait in
+         transaction, so this is always safe.  The timer is cancelled as
+         soon as the context resolves (see [cancel_sweep]); while a
+         machine is attached but undecided it re-arms, since a recovered
+         coordinator losing all memory can orphan us mid-protocol too. *)
+      let orphan_window =
+        t.config.orphan_window_factor * t.config.commit_timeouts.decision_wait
+      in
       let rec sweep () =
-        ignore
-          (Engine.schedule_after t.engine orphan_window
-             (guarded t (fun () ->
-                  if not ctx.pt_resolved then
-                    if ctx.pt_machine = None then begin
-                      !doom_part_ref t ctx Msg.R_doomed;
-                      ctx.pt_resolved <- true;
-                      Ids.Txn_map.replace t.presumed txn P.Abort;
-                      Ids.Txn_map.remove t.parts txn
-                    end
-                    else sweep ())))
+        ctx.pt_sweep <-
+          Some
+            (Engine.schedule_after t.engine orphan_window
+               (guarded t (fun () ->
+                    ctx.pt_sweep <- None;
+                    if not ctx.pt_resolved then
+                      if ctx.pt_machine = None then begin
+                        !doom_part_ref t ctx Msg.R_doomed;
+                        ctx.pt_resolved <- true;
+                        Ids.Txn_map.replace t.presumed txn P.Abort;
+                        Ids.Txn_map.replace t.decided txn P.Abort;
+                        Ids.Txn_map.remove t.parts txn
+                      end
+                      else sweep ())))
       in
       sweep ();
       ctx
+
+let cancel_sweep t ctx =
+  match ctx.pt_sweep with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      ctx.pt_sweep <- None
+  | None -> ()
 
 let note_first_lsn t txn lsn =
   if not (Ids.Txn_map.mem t.first_lsn txn) then
@@ -457,10 +495,14 @@ let out_commit_msg t ctx_txn ~dst pmsg ~prepare =
   if dst <> t.id then Counter.incr t.counters "commit_protocol_msgs";
   local_send t ~dst (Msg.txn_msg ctx_txn (Msg.Commit_msg { pmsg; prepare }))
 
-(* Interpret a participant machine's actions. *)
+(* Interpret a participant machine's actions.  The per-action [t.up]
+   check matters under fault injection: a forced log write can crash the
+   site synchronously (wal crash points), and the rest of the action list
+   must then be dropped exactly as if the site had died mid-step. *)
 let rec interpret_part t ctx actions =
   List.iter
     (fun (action : P.action) ->
+      if t.up then
       match action with
       | P.Send (dst, pmsg) -> out_commit_msg t ctx.pt_txn ~dst pmsg ~prepare:None
       | P.Log (tag, mode) -> (
@@ -485,6 +527,7 @@ let rec interpret_part t ctx actions =
           (* Read-only participant: release without remembering. *)
           if not ctx.pt_resolved then begin
             ctx.pt_resolved <- true;
+            cancel_sweep t ctx;
             Counter.incr t.counters "readonly_releases";
             Ids.Txn_map.remove t.first_lsn ctx.pt_txn;
             Lock.release_all t.locks ~txn:ctx.pt_txn;
@@ -499,12 +542,20 @@ and feed_part t ctx input =
     | Some m ->
         let m', actions = m.Erased.step input in
         ctx.pt_machine <- Some m';
-        interpret_part t ctx actions
+        interpret_part t ctx actions;
+        (* Step boundary: the machine consumed [input] and its actions are
+           fully interpreted — a crash here loses everything volatile the
+           step produced but nothing of the step itself. *)
+        if t.up && Engine.crash_hook_installed t.engine then
+          Engine.crash_point t.engine ~site:t.id
+            ~point:("part:" ^ P.input_point input)
 
 and resolve_part t ctx (d : P.decision) =
   if not ctx.pt_resolved then begin
     ctx.pt_resolved <- true;
+    cancel_sweep t ctx;
     Ids.Txn_map.replace t.presumed ctx.pt_txn d;
+    Ids.Txn_map.replace t.decided ctx.pt_txn d;
     (match d with
     | P.Commit ->
         List.iter
@@ -705,7 +756,9 @@ let handle_abort_txn t txn =
   | Some ctx ->
       doom_part t ctx Msg.R_doomed;
       ctx.pt_resolved <- true;
+      cancel_sweep t ctx;
       Ids.Txn_map.replace t.presumed txn P.Abort;
+      Ids.Txn_map.replace t.decided txn P.Abort;
       Counter.incr t.counters "participant_aborts";
       gc_part t ctx
 
@@ -756,6 +809,7 @@ let site_writes_for ctx dst =
 let rec interpret_coord t ctx actions =
   List.iter
     (fun (action : P.action) ->
+      if t.up then
       match action with
       | P.Send (dst, pmsg) ->
           let prepare =
@@ -792,6 +846,7 @@ let rec interpret_coord t ctx actions =
           | `Lazy -> ())
       | P.Deliver d ->
           Ids.Txn_map.replace t.presumed ctx.co_txn d;
+          Ids.Txn_map.replace t.decided ctx.co_txn d;
           finish_coord t ctx
             (match d with
             | P.Commit -> Committed
@@ -810,7 +865,10 @@ and feed_coord t ctx input =
     | Some m ->
         let m', actions = m.Erased.step input in
         ctx.co_machine <- Some m';
-        interpret_coord t ctx actions
+        interpret_coord t ctx actions;
+        if t.up && Engine.crash_hook_installed t.engine then
+          Engine.crash_point t.engine ~site:t.id
+            ~point:("coord:" ^ P.input_point input)
 
 and finish_coord t ctx outcome =
   if not ctx.co_finished then begin
@@ -844,6 +902,7 @@ let abort_coord_early t ctx reason =
     in
     ctx.co_wait <- None;
     Ids.Txn_map.replace t.presumed ctx.co_txn P.Abort;
+    Ids.Txn_map.replace t.decided ctx.co_txn P.Abort;
     Sset.iter
       (fun s ->
         if s = t.id then handle_abort_txn t ctx.co_txn
@@ -1147,8 +1206,14 @@ let () = send_probe_ref := send_probe
 
 (* The presumption a site must apply for a transaction it knows nothing
    about.  Only the transaction's coordinator applies the 2PC variant's
-   presumption; any other site that has never voted may (and does) pledge
-   abort, which also vetoes any future vote request. *)
+   presumption.  A non-coordinator that remembers nothing answers
+   [Decision_unknown]: it must not invent an authoritative outcome,
+   because under the read-only optimization it may have voted read-only
+   and forgotten a transaction that went on to commit — an invented
+   "abort" reply would then contradict the real decision.  (State
+   requests are different: a definite report is required for termination
+   progress, and pledging abort before replying keeps it safe, since a
+   site that pledged can never later vote yes.) *)
 let answer_unknown t ~src txn (pmsg : P.msg) =
   let reply m = out_commit_msg t txn ~dst:src m ~prepare:None in
   let known = Ids.Txn_map.find_opt t.presumed txn in
@@ -1163,11 +1228,7 @@ let answer_unknown t ~src txn (pmsg : P.msg) =
                 reply (P.Decision_msg (Two_pc.presumption variant))
             | Config.Three_phase | Config.Quorum_commit _ ->
                 reply P.Decision_unknown
-          else begin
-            (* Never participated: pledge abort. *)
-            Ids.Txn_map.replace t.presumed txn P.Abort;
-            reply (P.Decision_msg P.Abort)
-          end)
+          else reply P.Decision_unknown)
   | P.State_req | P.Pq_state_req _ -> (
       let state_of = function
         | P.Commit -> P.P_committed
@@ -1183,7 +1244,18 @@ let answer_unknown t ~src txn (pmsg : P.msg) =
       match pmsg with
       | P.Pq_state_req e -> reply (P.Pq_state_report (e, st))
       | _ -> reply (P.State_report st))
-  | P.Decision_msg _ | P.Decision_unknown | P.Vote_yes | P.Vote_no
+  | P.Decision_msg d ->
+      (* A decision reaching a site with no machine for the transaction
+         (all memory of it lost in a crash, or already resolved and
+         collected): record it if new, and always acknowledge — an
+         ack-collecting coordinator would otherwise resend forever. *)
+      (match known with
+      | Some _ -> ()
+      | None ->
+          Ids.Txn_map.replace t.presumed txn d;
+          Ids.Txn_map.replace t.decided txn d);
+      reply P.Decision_ack
+  | P.Decision_unknown | P.Vote_yes | P.Vote_no
   | P.Decision_ack | P.Precommit_msg | P.Precommit_ack | P.Pq_precommit _
   | P.Pq_precommit_ack _ | P.Pq_preabort _ | P.Pq_preabort_ack _
   | P.State_report _ | P.Pq_state_report _ | P.Vote_req
@@ -1349,6 +1421,7 @@ let crash t =
     Ids.Txn_map.reset t.coords;
     Ids.Txn_map.reset t.parts;
     Ids.Txn_map.reset t.presumed;
+    Ids.Txn_map.reset t.decided;
     Ids.Txn_map.reset t.first_lsn
   end
 
@@ -1376,17 +1449,15 @@ let recover t =
       (Engine.schedule_after t.engine duration (fun () ->
            if t.incarnation = inc && not t.up then begin
              t.up <- true;
-             List.iter
-               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Commit)
-               outcome.committed;
-             List.iter
-               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Abort)
-               outcome.aborted;
+             let settle txn d =
+               Ids.Txn_map.replace t.presumed txn d;
+               Ids.Txn_map.replace t.decided txn d
+             in
+             List.iter (fun txn -> settle txn P.Commit) outcome.committed;
+             List.iter (fun txn -> settle txn P.Abort) outcome.aborted;
              (* Presumed-commit coordinator records without a decision
                 must abort. *)
-             List.iter
-               (fun txn -> Ids.Txn_map.replace t.presumed txn P.Abort)
-               outcome.collecting;
+             List.iter (fun txn -> settle txn P.Abort) outcome.collecting;
              (* Under 2PC, an in-doubt transaction coordinated *here* is
                 settled by this site's own log: no decision record means
                 no decision was ever distributed, so the variant's
@@ -1399,9 +1470,7 @@ let recover t =
                      if
                        d.txn.Tid.origin = t.id
                        && not (Ids.Txn_map.mem t.presumed d.txn)
-                     then
-                       Ids.Txn_map.replace t.presumed d.txn
-                         (Two_pc.presumption variant))
+                     then settle d.txn (Two_pc.presumption variant))
                    outcome.in_doubt
              | Config.Three_phase | Config.Quorum_commit _ -> ());
              (* Rebuild termination machinery for in-doubt transactions. *)

@@ -133,5 +133,19 @@ val blocked_participants : t -> int
 (** Participants currently reporting themselves blocked (2PC uncertainty
     window with a dead coordinator, or quorum-commit minority). *)
 
+val decided_txns : t -> (Ids.Txn_id.t * Rt_commit.Protocol.decision) list
+(** Transactions this site genuinely decided (delivered locally or settled
+    from the durable log on recovery), in transaction-id order.  Excludes
+    the abort pledges made for transactions the site never took part in,
+    so cross-site comparison of these lists is exactly the agreement
+    invariant. *)
+
+val held_locks : t -> int
+(** Keys with at least one lock holder or waiter (orphaned-lock audit). *)
+
+val pending_protocol_timers : t -> int
+(** Commit-protocol timers currently scheduled across all live coordinator
+    and participant contexts (undrained-timer audit). *)
+
 val latencies : t -> Rt_metrics.Sample.t
 (** Commit latencies (seconds) of transactions coordinated here. *)

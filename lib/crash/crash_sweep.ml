@@ -1,0 +1,268 @@
+open Rt_sim
+open Rt_core
+module Two_pc = Rt_commit.Two_pc
+module Kv = Rt_storage.Kv
+module P = Rt_commit.Protocol
+module Tid = Rt_types.Ids.Txn_id
+
+type case = {
+  cs_protocol : string;
+  cs_n : int;
+  cs_site : int;
+  cs_role : string;
+  cs_point : string;
+  cs_occurrence : int;
+}
+
+let pp_case fmt c =
+  Format.fprintf fmt "%s n=%d %s(site %d) %s#%d" c.cs_protocol c.cs_n c.cs_role
+    c.cs_site c.cs_point c.cs_occurrence
+
+type violation = { v_case : case; v_invariant : string; v_detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%a] %s: %s" pp_case v.v_case v.v_invariant v.v_detail
+
+type summary = {
+  sm_protocol : string;
+  sm_n : int;
+  sm_points : int;  (* distinct (site, point) pairs targeted *)
+  sm_cases : int;
+  sm_violations : int;
+}
+
+type report = {
+  rp_summaries : summary list;
+  rp_violations : violation list;
+  rp_cases : int;
+}
+
+let default_protocols =
+  [
+    ("2PC-PrN", Config.Two_phase Two_pc.Presumed_nothing);
+    ("2PC-PrA", Config.Two_phase Two_pc.Presumed_abort);
+    ("2PC-PrC", Config.Two_phase Two_pc.Presumed_commit);
+    ("3PC", Config.Three_phase);
+    ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+  ]
+
+let default_ns = [ 3; 5 ]
+
+(* The swept run: one distributed write transaction submitted at site 0.
+   Under ROWA every site is a write participant, which is exactly what
+   the durability invariant needs.  The horizon leaves ample room for
+   recovery (100 ms after the crash) plus protocol termination. *)
+let horizon = Time.sec 3
+let recover_after = Time.ms 100
+let workload = [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "2") ]
+
+let roles = [ (0, "coordinator"); (1, "participant") ]
+
+let make_cluster ~protocol ~n ~seed =
+  let config =
+    { (Config.default ~sites:n ()) with commit_protocol = protocol; seed }
+  in
+  Cluster.create config
+
+let start_workload cluster =
+  let outcome = ref None in
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) (Time.ms 1) (fun () ->
+         Cluster.submit cluster ~site:0 ~ops:workload ~k:(fun o ->
+             outcome := Some o)));
+  outcome
+
+(* Discovery pass: run the workload uninjected and record the ordered
+   stream of (site, point) announcements for the sites we target. *)
+let discover ~protocol ~n ~seed =
+  let cluster = make_cluster ~protocol ~n ~seed in
+  let points = Rt_core.Failure.observe_crash_points cluster in
+  let _outcome = start_workload cluster in
+  Cluster.run ~until:horizon cluster;
+  List.filter (fun (s, _) -> List.mem_assoc s roles) (points ())
+
+let audit ~case ~cluster ~outcome ~reached =
+  let violations = ref [] in
+  let add v_invariant v_detail =
+    violations := { v_case = case; v_invariant; v_detail } :: !violations
+  in
+  if not reached then
+    add "determinism" "target crash point not reached in injection run";
+  (* Quiescence: past the horizon the commit protocol must be silent.  A
+     machine that keeps resending (e.g. collecting an ack that will never
+     come) shows up as protocol traffic even after its context has been
+     garbage-collected out of the per-site timer audit below. *)
+  let msgs_at name = Rt_metrics.Counter.get (Cluster.counters cluster) name in
+  let before = msgs_at "commit_protocol_msgs" in
+  Cluster.run ~until:(Time.add horizon (Time.sec 1)) cluster;
+  let after = msgs_at "commit_protocol_msgs" in
+  if after > before then
+    add "termination"
+      (Printf.sprintf "commit protocol not quiescent: %d messages after horizon"
+         (after - before));
+  (match !outcome with
+  | None -> add "termination" "client outcome never fired"
+  | Some _ -> ());
+  let sites = Cluster.sites cluster in
+  Array.iter
+    (fun s ->
+      let id = Site.id s in
+      if not (Site.serving s) then
+        add "recovery" (Printf.sprintf "site %d not serving at horizon" id);
+      let ap = Site.active_participants s in
+      if ap > 0 then
+        add "termination"
+          (Printf.sprintf "site %d: %d unresolved participants" id ap);
+      let bp = Site.blocked_participants s in
+      if bp > 0 then
+        add "termination"
+          (Printf.sprintf "site %d: %d blocked participants" id bp);
+      let hl = Site.held_locks s in
+      if hl > 0 then
+        add "locks" (Printf.sprintf "site %d: %d keys still locked" id hl);
+      let pt = Site.pending_protocol_timers s in
+      if pt > 0 then
+        add "timers"
+          (Printf.sprintf "site %d: %d protocol timers still pending" id pt))
+    sites;
+  (* Agreement: no two sites genuinely decide differently. *)
+  let by_txn = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (txn, d) ->
+          let prev =
+            Option.value (Hashtbl.find_opt by_txn txn) ~default:[]
+          in
+          Hashtbl.replace by_txn txn ((Site.id s, d) :: prev))
+        (Site.decided_txns s))
+    sites;
+  let txns =
+    Hashtbl.fold (fun txn ds acc -> (txn, ds) :: acc) by_txn []
+    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  in
+  let committed = ref false in
+  List.iter
+    (fun (txn, ds) ->
+      let commits =
+        List.filter (fun (_, d) -> P.decision_equal d P.Commit) ds
+      in
+      let aborts =
+        List.filter (fun (_, d) -> P.decision_equal d P.Abort) ds
+      in
+      if commits <> [] then committed := true;
+      if commits <> [] && aborts <> [] then
+        add "agreement"
+          (Format.asprintf "txn %a: commit at %s, abort at %s" Tid.pp txn
+             (String.concat ","
+                (List.map (fun (s, _) -> string_of_int s) commits))
+             (String.concat ","
+                (List.map (fun (s, _) -> string_of_int s) aborts))))
+    txns;
+  (* Durability: a committed transaction's writes survive on every copy
+     (ROWA writes all), and the stores agree byte for byte. *)
+  if !committed then
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun op ->
+            match op with
+            | Rt_workload.Mix.Write (key, value) ->
+                let have =
+                  Option.map (fun (i : Kv.item) -> i.value)
+                    (Kv.get (Site.kv s) key)
+                in
+                if have <> Some value then
+                  add "durability"
+                    (Printf.sprintf
+                       "site %d: committed write %s=%s missing (found %s)"
+                       (Site.id s) key value
+                       (Option.value have ~default:"nothing"))
+            | Rt_workload.Mix.Read _ -> ())
+          workload)
+      sites;
+  if not (Cluster.converged cluster) then
+    add "durability" "stores diverge at horizon";
+  List.rev !violations
+
+let run_case ~case ~protocol ~seed =
+  let cluster = make_cluster ~protocol ~n:case.cs_n ~seed in
+  let injected =
+    Rt_core.Failure.crash_at_point cluster ~site:case.cs_site
+      ~point:case.cs_point ~occurrence:case.cs_occurrence ~recover_after
+  in
+  let outcome = start_workload cluster in
+  Cluster.run ~until:horizon cluster;
+  audit ~case ~cluster ~outcome ~reached:(injected ())
+
+let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns) () =
+  let summaries = ref [] in
+  let violations = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun (name, protocol) ->
+      List.iter
+        (fun n ->
+          let stream = discover ~protocol ~n ~seed in
+          (* Each occurrence in the discovery stream is one injection. *)
+          let occ = Hashtbl.create 32 in
+          let cases =
+            List.map
+              (fun (site, point) ->
+                let k =
+                  1 + Option.value (Hashtbl.find_opt occ (site, point)) ~default:0
+                in
+                Hashtbl.replace occ (site, point) k;
+                {
+                  cs_protocol = name;
+                  cs_n = n;
+                  cs_site = site;
+                  cs_role = List.assoc site roles;
+                  cs_point = point;
+                  cs_occurrence = k;
+                })
+              stream
+          in
+          let vs =
+            List.concat_map
+              (fun case -> run_case ~case ~protocol ~seed)
+              cases
+          in
+          total := !total + List.length cases;
+          violations := !violations @ vs;
+          summaries :=
+            {
+              sm_protocol = name;
+              sm_n = n;
+              sm_points = Hashtbl.length occ;
+              sm_cases = List.length cases;
+              sm_violations = List.length vs;
+            }
+            :: !summaries)
+        ns)
+    protocols;
+  {
+    rp_summaries = List.rev !summaries;
+    rp_violations = !violations;
+    rp_cases = !total;
+  }
+
+let render report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "| protocol | n | crash points | cases | violations |\n";
+  Buffer.add_string buf "|---|---|---|---|---|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %d | %d | %d | %d |\n" s.sm_protocol s.sm_n
+           s.sm_points s.sm_cases s.sm_violations))
+    report.rp_summaries;
+  Buffer.add_string buf
+    (Printf.sprintf "\ntotal: %d cases, %d violations\n" report.rp_cases
+       (List.length report.rp_violations));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Format.asprintf "%a\n" pp_violation v))
+    report.rp_violations;
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** Deterministic crash-point sweep over the commit protocols.
+
+    For each protocol × cluster size, a discovery pass runs one
+    distributed write transaction with the crash-point hook recording
+    every announcement at the coordinator site (0) and one participant
+    site (1).  Each recorded occurrence then becomes an injection run:
+    the same seeded workload, with the site crashed exactly at that
+    occurrence of that point and recovered 100 ms later.  At a 3 s
+    horizon every run is audited for agreement, durability, orphaned
+    locks, undrained protocol timers, and bounded termination.
+
+    Everything is driven by the DES seed, so the same seed yields a
+    byte-identical {!render}ed report. *)
+
+type case = {
+  cs_protocol : string;
+  cs_n : int;
+  cs_site : int;  (** The crashed site. *)
+  cs_role : string;  (** ["coordinator"] (site 0) or ["participant"]. *)
+  cs_point : string;
+  cs_occurrence : int;  (** 1-based occurrence of the point at the site. *)
+}
+
+val pp_case : Format.formatter -> case -> unit
+
+type violation = { v_case : case; v_invariant : string; v_detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type summary = {
+  sm_protocol : string;
+  sm_n : int;
+  sm_points : int;  (** Distinct (site, point) pairs targeted. *)
+  sm_cases : int;
+  sm_violations : int;
+}
+
+type report = {
+  rp_summaries : summary list;
+  rp_violations : violation list;
+  rp_cases : int;
+}
+
+val default_protocols : (string * Rt_core.Config.commit_protocol) list
+(** 2PC-PrN, 2PC-PrA, 2PC-PrC, 3PC, QC (majority quorums). *)
+
+val default_ns : int list
+(** Cluster sizes swept by default: 3 and 5. *)
+
+val sweep :
+  ?seed:int ->
+  ?protocols:(string * Rt_core.Config.commit_protocol) list ->
+  ?ns:int list ->
+  unit ->
+  report
+(** Run the full sweep (default: every protocol × every size, seed 0). *)
+
+val run_case :
+  case:case -> protocol:Rt_core.Config.commit_protocol -> seed:int ->
+  violation list
+(** Run a single injection case (regression-test entry point). *)
+
+val discover :
+  protocol:Rt_core.Config.commit_protocol -> n:int -> seed:int ->
+  (int * string) list
+(** The discovery pass alone: the ordered (site, point) stream at the
+    targeted sites for an uninjected run. *)
+
+val render : report -> string
+(** Markdown summary table followed by one line per violation;
+    byte-stable for a given seed. *)

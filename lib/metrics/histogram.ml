@@ -33,6 +33,12 @@ let value_of t b =
   end
 
 let add t x =
+  (* Negative (and NaN) samples would collapse into the underflow bucket,
+     whose representative value is 0 — percentiles would then silently
+     report 0 while min/max report the real values.  Reject them instead;
+     an exact 0 is still accepted and bucketed at 0. *)
+  if Float.is_nan x || x < 0. then
+    invalid_arg "Histogram.add: sample must be a non-negative number";
   let b = bucket_of t x in
   let prev = Option.value (Hashtbl.find_opt t.buckets b) ~default:0 in
   Hashtbl.replace t.buckets b (prev + 1);

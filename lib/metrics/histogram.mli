@@ -12,7 +12,11 @@ val create : ?precision:float -> unit -> t
     quantile error). *)
 
 val add : t -> float -> unit
-(** Adds a sample.  Non-positive samples land in the underflow bucket. *)
+(** Adds a sample.  Zero lands in the underflow bucket (whose
+    representative value is 0, so percentiles stay consistent with
+    min/max).  Raises [Invalid_argument] on negative or NaN samples —
+    they have no representable bucket and would otherwise surface as a
+    silent 0 in percentile queries. *)
 
 val count : t -> int
 

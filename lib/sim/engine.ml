@@ -7,12 +7,15 @@ type event = {
 
 type event_id = event
 
+type crash_hook = site:int -> point:string -> unit
+
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable n_processed : int;
   queue : event Heap.t;
   root_rng : Rng.t;
+  mutable crash_hook : crash_hook option;
 }
 
 let compare_event a b =
@@ -26,10 +29,17 @@ let create ?(seed = 0) () =
     n_processed = 0;
     queue = Heap.create ~cmp:compare_event;
     root_rng = Rng.create ~seed;
+    crash_hook = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+
+let set_crash_hook t hook = t.crash_hook <- hook
+let crash_hook_installed t = t.crash_hook <> None
+
+let crash_point t ~site ~point =
+  match t.crash_hook with None -> () | Some f -> f ~site ~point
 
 let schedule_at t when_ thunk =
   let fire_at = Time.max when_ t.clock in
@@ -41,6 +51,10 @@ let schedule_at t when_ thunk =
 let schedule_after t delay thunk = schedule_at t (Time.add t.clock delay) thunk
 let cancel _t ev = ev.cancelled <- true
 let pending t = Heap.length t.queue
+
+let live_pending t =
+  Heap.fold (fun acc ev -> if ev.cancelled then acc else acc + 1) 0 t.queue
+
 let processed t = t.n_processed
 
 let step t =

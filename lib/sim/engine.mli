@@ -36,6 +36,32 @@ val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     drained). *)
 
+val live_pending : t -> int
+(** Number of queued events that are not cancelled — the quiescence/timer
+    audit used by the crash-point sweep: a component that keeps re-arming
+    a timer after its work is done shows up as a live event that never
+    drains. *)
+
+(** {2 Crash points}
+
+    Instrumented components (the WAL, the protocol interpreters) announce
+    named execution points through the engine; a fault-injection harness
+    installs a hook to record them or to crash a site at an exact
+    occurrence.  With no hook installed the announcements are free. *)
+
+type crash_hook = site:int -> point:string -> unit
+
+val set_crash_hook : t -> crash_hook option -> unit
+(** Install (or with [None] remove) the global crash-point hook.  The hook
+    may synchronously crash the announcing site; announcing components
+    must re-check their own liveness when [crash_point] returns. *)
+
+val crash_hook_installed : t -> bool
+(** Cheap guard so hot paths can skip building point names. *)
+
+val crash_point : t -> site:int -> point:string -> unit
+(** Announce that [site] reached the named point.  No-op without a hook. *)
+
 val processed : t -> int
 (** Number of events executed so far. *)
 

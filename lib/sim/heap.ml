@@ -60,6 +60,13 @@ let pop t =
     Some top
   end
 
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
 let clear t =
   t.data <- [||];
   t.size <- 0

@@ -15,4 +15,8 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Removes and returns the minimum element. *)
 
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Folds over every element in storage order (not sorted).  Only suited
+    to order-insensitive accumulation such as counting. *)
+
 val clear : 'a t -> unit

@@ -5,6 +5,7 @@ type lsn = int
 type 'r t = {
   engine : Engine.t;
   force_latency : Time.t;
+  owner : int;  (* owning site, for crash points; -1 = anonymous *)
   mutable records : 'r array;  (* index i holds LSN base + i + 1 *)
   mutable size : int;
   mutable base : lsn;  (* number of truncated records *)
@@ -15,10 +16,11 @@ type 'r t = {
   mutable forces : int;
 }
 
-let create engine ~force_latency () =
+let create ?(owner = -1) engine ~force_latency () =
   {
     engine;
     force_latency;
+    owner;
     records = [||];
     size = 0;
     base = 0;
@@ -28,6 +30,16 @@ let create engine ~force_latency () =
     epoch = 0;
     forces = 0;
   }
+
+(* Announce a crash point and report whether the log is still alive: the
+   hook may crash the owning site synchronously, which bumps our epoch. *)
+let reach_crash_point t point =
+  if t.owner >= 0 && Engine.crash_hook_installed t.engine then begin
+    let epoch = t.epoch in
+    Engine.crash_point t.engine ~site:t.owner ~point;
+    t.epoch = epoch
+  end
+  else true
 
 let tail_lsn t = t.base + t.size
 let durable_lsn t = t.durable
@@ -65,17 +77,24 @@ let rec start_device_cycle t =
          if t.epoch = epoch then begin
            t.device_busy <- false;
            if target > t.durable then t.durable <- target;
-           fire_satisfied t;
-           (* Anything still waiting targets records appended after this
-              cycle started: run another cycle. *)
-           if t.waiting <> [] then start_device_cycle t
+           (* Crash here: the records are durable but every continuation
+              waiting on them is lost. *)
+           if reach_crash_point t "wal:force-durable" then begin
+             fire_satisfied t;
+             (* Anything still waiting targets records appended after this
+                cycle started: run another cycle. *)
+             if t.waiting <> [] then start_device_cycle t
+           end
          end))
 
 let force t ?upto k =
   let upto = Option.value upto ~default:(tail_lsn t) in
   if upto <= t.durable then
     ignore (Engine.schedule_after t.engine Time.zero (fun () -> k ()))
-  else begin
+  else if
+    (* Crash here: the forced records are still volatile and are lost. *)
+    reach_crash_point t "wal:force-volatile"
+  then begin
     t.waiting <- (upto, k) :: t.waiting;
     if not t.device_busy then start_device_cycle t
   end

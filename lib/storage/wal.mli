@@ -14,7 +14,12 @@ open Rt_sim
 
 type 'r t
 
-val create : Engine.t -> force_latency:Time.t -> unit -> 'r t
+val create : ?owner:int -> Engine.t -> force_latency:Time.t -> unit -> 'r t
+(** [owner] is the id of the owning site; when given and a crash-point hook
+    is installed on the engine, the log announces ["wal:force-volatile"]
+    (force requested, records not yet durable) and ["wal:force-durable"]
+    (device cycle completed, continuations about to run) so a fault
+    injector can crash the site exactly at those boundaries. *)
 
 type lsn = int
 (** Log sequence numbers are 1-based; 0 means "nothing". *)

@@ -171,6 +171,227 @@ let test_read_only_participant_forgets () =
     [ Send (2, Decision_unknown) ]
     actions
 
+(* --- 2PC recovery entry points ------------------------------------------- *)
+
+let test_recovered_coordinator_redistributes () =
+  (* PrN and PrA both require commit acks: a coordinator that logged
+     Commit and crashed must re-distribute until everyone acknowledges. *)
+  List.iter
+    (fun variant ->
+      let name = Two_pc.variant_name variant in
+      let c =
+        Two_pc.coordinator_recovered ~variant ~participants:[ 0; 1 ] ~timeouts
+          ~logged:(`Decision Commit)
+      in
+      Alcotest.(check bool) (name ^ ": not done yet") false (Two_pc.coord_done c);
+      let c, actions = Two_pc.coord_step c Start in
+      Alcotest.(check (list action)) (name ^ ": redistribute on start")
+        [ Send (0, Decision_msg Commit); Send (1, Decision_msg Commit);
+          Set_timer (T_resend, timeouts.resend_every) ]
+        actions;
+      let c, _ = Two_pc.coord_step c (Recv (0, Decision_ack)) in
+      let c, actions = Two_pc.coord_step c (Recv (1, Decision_ack)) in
+      Alcotest.(check (list action)) (name ^ ": end after all acks")
+        [ Clear_timer T_resend; Log (L_end, `Lazy) ]
+        actions;
+      Alcotest.(check bool) (name ^ ": done") true (Two_pc.coord_done c))
+    [ Two_pc.Presumed_nothing; Two_pc.Presumed_abort ]
+
+let test_recovered_prc_commit_needs_nothing () =
+  (* Presumed commit: a logged Commit needs no acks — the machine comes
+     back finished and only answers inquiries. *)
+  let c =
+    Two_pc.coordinator_recovered ~variant:Two_pc.Presumed_commit
+      ~participants:[ 0; 1 ] ~timeouts ~logged:(`Decision Commit)
+  in
+  Alcotest.(check bool) "done immediately" true (Two_pc.coord_done c);
+  let c, actions = Two_pc.coord_step c Start in
+  Alcotest.(check (list action)) "start is a no-op" [] actions;
+  let _, actions = Two_pc.coord_step c (Recv (1, Decision_req)) in
+  Alcotest.(check (list action)) "answers inquiries"
+    [ Send (1, Decision_msg Commit) ]
+    actions
+
+let test_recovered_prc_collecting_aborts () =
+  (* Presumed commit crashed between the Collecting record and the
+     decision: it must abort, force the record, and collect abort acks. *)
+  let c =
+    Two_pc.coordinator_recovered ~variant:Two_pc.Presumed_commit
+      ~participants:[ 0; 1 ] ~timeouts ~logged:`Collecting
+  in
+  let c, actions = Two_pc.coord_step c Start in
+  Alcotest.(check (list action)) "re-force the abort record"
+    [ Log (L_decision Abort, `Forced) ]
+    actions;
+  (* Undecided until durable: inquiries get no answer yet. *)
+  let c, actions = Two_pc.coord_step c (Recv (1, Decision_req)) in
+  Alcotest.(check (list action)) "undecided while logging"
+    [ Send (1, Decision_unknown) ]
+    actions;
+  let c, actions = Two_pc.coord_step c (Log_done (L_decision Abort)) in
+  Alcotest.(check (list action)) "distribute abort, await acks"
+    [ Send (0, Decision_msg Abort); Send (1, Decision_msg Abort);
+      Set_timer (T_resend, timeouts.resend_every); Deliver Abort ]
+    actions;
+  Alcotest.(check bool) "decided abort" true
+    (Two_pc.coord_decision c = Some Abort)
+
+let test_recovered_coordinator_presumes () =
+  (* No log record at all: the machine comes back finished and answers
+     inquiries with the variant's presumption. *)
+  List.iter
+    (fun (variant, presumed) ->
+      let name = Two_pc.variant_name variant in
+      let c =
+        Two_pc.coordinator_recovered ~variant ~participants:[ 0; 1 ] ~timeouts
+          ~logged:`Nothing
+      in
+      Alcotest.(check bool) (name ^ ": done") true (Two_pc.coord_done c);
+      let c, actions = Two_pc.coord_step c Start in
+      Alcotest.(check (list action)) (name ^ ": start is a no-op") [] actions;
+      let _, actions = Two_pc.coord_step c (Recv (1, Decision_req)) in
+      Alcotest.(check (list action)) (name ^ ": presumption answer")
+        [ Send (1, Decision_msg presumed) ]
+        actions)
+    [
+      (Two_pc.Presumed_nothing, Abort);
+      (Two_pc.Presumed_abort, Abort);
+      (Two_pc.Presumed_commit, Commit);
+    ]
+
+let test_recovered_participant_asks_around () =
+  (* A prepared-but-undecided participant wakes up in the uncertain
+     window and immediately runs cooperative termination. *)
+  let p =
+    Two_pc.participant_recovered ~variant:Two_pc.Presumed_abort ~self:1
+      ~coordinator:0 ~peers:[ 0; 1; 2 ] ~timeouts
+  in
+  Alcotest.(check bool) "uncertain" true (Two_pc.part_state p = P_uncertain);
+  let p, actions = Two_pc.part_step p Start in
+  Alcotest.(check (list action)) "asks coordinator and peers"
+    [ Send (0, Decision_req); Send (2, Decision_req);
+      Set_timer (T_resend, timeouts.resend_every) ]
+    actions;
+  (* Commit under PrA is forced and acknowledged. *)
+  let p, actions = Two_pc.part_step p (Recv (0, Decision_msg Commit)) in
+  Alcotest.(check (list action)) "commit forced"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Commit, `Forced) ]
+    actions;
+  let p, actions = Two_pc.part_step p (Log_done (L_decision Commit)) in
+  Alcotest.(check (list action)) "ack + deliver"
+    [ Send (0, Decision_ack); Deliver Commit ]
+    actions;
+  Alcotest.(check bool) "committed" true (Two_pc.part_state p = P_committed)
+
+let test_recovered_participant_outcomes_by_variant () =
+  (* The recovered machine still honours each variant's forcing and ack
+     discipline when the answer finally arrives. *)
+  let recovered variant =
+    let p =
+      Two_pc.participant_recovered ~variant ~self:1 ~coordinator:0
+        ~peers:[ 0; 1; 2 ] ~timeouts
+    in
+    fst (Two_pc.part_step p Start)
+  in
+  (* PrA abort: lazy, no ack. *)
+  let p, actions =
+    Two_pc.part_step (recovered Two_pc.Presumed_abort)
+      (Recv (2, Decision_msg Abort))
+  in
+  Alcotest.(check (list action)) "PrA abort lazy, unacknowledged"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Abort, `Lazy); Deliver Abort ]
+    actions;
+  Alcotest.(check bool) "aborted" true (Two_pc.part_state p = P_aborted);
+  (* PrC commit: lazy, no ack. *)
+  let _, actions =
+    Two_pc.part_step (recovered Two_pc.Presumed_commit)
+      (Recv (0, Decision_msg Commit))
+  in
+  Alcotest.(check (list action)) "PrC commit lazy, unacknowledged"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Commit, `Lazy); Deliver Commit ]
+    actions;
+  (* PrN abort: forced, acknowledged. *)
+  let p, actions =
+    Two_pc.part_step (recovered Two_pc.Presumed_nothing)
+      (Recv (0, Decision_msg Abort))
+  in
+  Alcotest.(check (list action)) "PrN abort forced"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Abort, `Forced) ]
+    actions;
+  let _, actions = Two_pc.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check (list action)) "PrN abort acknowledged"
+    [ Send (0, Decision_ack); Deliver Abort ]
+    actions
+
+(* --- regressions from the crash-point sweep ------------------------------- *)
+
+let test_idle_participant_adopts_decision () =
+  (* Regression: a recovered coordinator redistributes its decision to
+     every participant, including one whose vote request died with the
+     coordinator and is still idle.  The idle participant used to drop
+     the message, leaving the coordinator resending forever. *)
+  let p =
+    Two_pc.participant ~variant:Two_pc.Presumed_nothing ~self:1 ~coordinator:0
+      ~peers:[ 0; 1; 2 ] ~vote:true ~timeouts ()
+  in
+  let p, actions = Two_pc.part_step p (Recv (0, Decision_msg Abort)) in
+  Alcotest.(check (list action)) "adopts the coordinator's abort"
+    [ Clear_timer T_decision; Clear_timer T_resend;
+      Log (L_decision Abort, `Forced) ]
+    actions;
+  let _, actions = Two_pc.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check (list action)) "acks so the resends stop"
+    [ Send (0, Decision_ack); Deliver Abort ]
+    actions
+
+let test_forgotten_participant_reacks () =
+  (* Regression: a read-only participant has released and forgotten, but
+     an ack-collecting coordinator cannot know that — it must re-ack
+     duplicate decisions instead of ignoring them. *)
+  let forgotten variant =
+    let p =
+      Two_pc.participant ~read_only:true ~variant ~self:1 ~coordinator:0
+        ~peers:[ 0; 1 ] ~vote:true ~timeouts ()
+    in
+    fst (Two_pc.part_step p (Recv (0, Vote_req)))
+  in
+  let _, actions =
+    Two_pc.part_step
+      (forgotten Two_pc.Presumed_nothing)
+      (Recv (0, Decision_msg Commit))
+  in
+  Alcotest.(check (list action)) "PrN: ack expected"
+    [ Send (0, Decision_ack) ]
+    actions;
+  let _, actions =
+    Two_pc.part_step
+      (forgotten Two_pc.Presumed_commit)
+      (Recv (0, Decision_msg Commit))
+  in
+  Alcotest.(check (list action)) "PrC commit: no ack expected" [] actions
+
+let test_early_decision_req_gets_unknown () =
+  (* Regression: a Decision_req arriving before the participant has any
+     state (or while the prepared record is still in flight) must be
+     answered Decision_unknown, not dropped — the asker is blocked. *)
+  let p =
+    Two_pc.participant ~variant:Two_pc.Presumed_abort ~self:1 ~coordinator:0
+      ~peers:[ 0; 1; 2 ] ~vote:true ~timeouts ()
+  in
+  let _, actions = Two_pc.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "idle answers unknown"
+    [ Send (2, Decision_unknown) ]
+    actions;
+  let p, _ = Two_pc.part_step p (Recv (0, Vote_req)) in
+  let _, actions = Two_pc.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "logging-prepared answers unknown"
+    [ Send (2, Decision_unknown) ]
+    actions
+
 (* --- 3PC ------------------------------------------------------------------ *)
 
 let test_3pc_walk () =
@@ -291,6 +512,30 @@ let () =
             test_participant_timeout_asks_around;
           Alcotest.test_case "read-only forgets" `Quick
             test_read_only_participant_forgets;
+        ] );
+      ( "2pc-recovery",
+        [
+          Alcotest.test_case "recovered coordinator redistributes" `Quick
+            test_recovered_coordinator_redistributes;
+          Alcotest.test_case "PrC commit needs nothing" `Quick
+            test_recovered_prc_commit_needs_nothing;
+          Alcotest.test_case "PrC collecting aborts" `Quick
+            test_recovered_prc_collecting_aborts;
+          Alcotest.test_case "nothing logged presumes" `Quick
+            test_recovered_coordinator_presumes;
+          Alcotest.test_case "recovered participant asks around" `Quick
+            test_recovered_participant_asks_around;
+          Alcotest.test_case "recovered outcomes by variant" `Quick
+            test_recovered_participant_outcomes_by_variant;
+        ] );
+      ( "2pc-sweep-regressions",
+        [
+          Alcotest.test_case "idle participant adopts decision" `Quick
+            test_idle_participant_adopts_decision;
+          Alcotest.test_case "forgotten participant re-acks" `Quick
+            test_forgotten_participant_reacks;
+          Alcotest.test_case "early decision-req gets unknown" `Quick
+            test_early_decision_req_gets_unknown;
         ] );
       ( "3pc",
         [

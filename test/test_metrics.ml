@@ -87,13 +87,45 @@ let test_histogram_merge () =
     (Invalid_argument "Histogram.merge: mismatched precision") (fun () ->
       ignore (Histogram.merge a (Histogram.create ~precision:0.5 ())))
 
-let test_histogram_underflow () =
+let test_histogram_zero () =
+  (* Zero is a legal sample: it lands in the underflow bucket, whose
+     representative value is 0, so percentiles agree with min/max. *)
   let h = Histogram.create () in
   Histogram.add h 0.;
-  Histogram.add h (-5.);
   Histogram.add h 10.;
-  Alcotest.(check int) "all counted" 3 (Histogram.count h);
-  Alcotest.(check (float 1e-9)) "min tracked" (-5.) (Histogram.min h)
+  Alcotest.(check int) "both counted" 2 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "min" 0. (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "p1 = min" 0. (Histogram.percentile h 1.)
+
+let test_histogram_rejects_negative () =
+  (* Negative samples used to collapse into the underflow bucket and
+     report as 0 in percentile queries while min/max kept the real
+     value; they are rejected now instead of lying. *)
+  let h = Histogram.create () in
+  let reject x =
+    Alcotest.check_raises
+      (Printf.sprintf "add %f rejected" x)
+      (Invalid_argument "Histogram.add: sample must be a non-negative number")
+      (fun () -> Histogram.add h x)
+  in
+  reject (-5.);
+  reject Float.nan;
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h)
+
+let test_histogram_single_sample () =
+  let h = Histogram.create () in
+  Histogram.add h 7.;
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "min" 7. (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 7. (Histogram.max h);
+  (* With one sample every percentile is that sample (clamped into the
+     observed range, so bucket-midpoint error cannot leak out). *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f" p)
+        7. (Histogram.percentile h p))
+    [ 0.; 1.; 50.; 100. ]
 
 (* --- Counter ------------------------------------------------------------ *)
 
@@ -156,7 +188,10 @@ let () =
         [
           Alcotest.test_case "accuracy" `Quick test_histogram_accuracy;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
-          Alcotest.test_case "underflow" `Quick test_histogram_underflow;
+          Alcotest.test_case "zero sample" `Quick test_histogram_zero;
+          Alcotest.test_case "rejects negative" `Quick
+            test_histogram_rejects_negative;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
         ] );
       ("counter", [ Alcotest.test_case "counter" `Quick test_counter ]);
       ( "table",
