@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench crash clean
+.PHONY: all build test lint bench bench-json crash clean
 
 all: build
 
@@ -13,6 +13,11 @@ lint:
 
 bench:
 	dune exec bench/main.exe
+
+# Deterministic machine-readable metrics snapshot: writes BENCH_<n>.json
+# (next free index) with fixed field order; CI uploads it as an artifact.
+bench-json:
+	dune exec bench/main.exe -- --json
 
 # Exhaustive crash-recovery fault injection (see docs/RECOVERY.md).
 # Exits non-zero when any invariant violation is found.

@@ -12,10 +12,15 @@ open Toolkit
 module Experiment = Rt_core.Experiment
 module Config = Rt_core.Config
 module Cluster = Rt_core.Cluster
+module Client = Rt_core.Client
 module Site = Rt_core.Site
 module Mix = Rt_workload.Mix
 module Sandbox = Rt_commit.Sandbox
 module Two_pc = Rt_commit.Two_pc
+module Placement = Rt_placement.Placement
+module Shard_map = Rt_placement.Shard_map
+module Sample = Rt_metrics.Sample
+module Counter = Rt_metrics.Counter
 module T = Rt_sim.Time
 
 (* ------------------------------------------------------------------ *)
@@ -100,17 +105,18 @@ let engine_churn () =
 
 let quorum_planning () =
   let rc = Rt_replica.Replica_control.majority ~sites:7 in
+  let replicas = List.init 7 (fun i -> i) in
   let plans = ref 0 in
   for self = 0 to 6 do
     (match
        Rt_replica.Replica_control.read_plan rc ~self ~up:(fun _ -> true)
-         ~sites:7
+         ~replicas
      with
     | Some _ -> incr plans
     | None -> ());
     match
       Rt_replica.Replica_control.write_plan rc ~self ~up:(fun s -> s <> 0)
-        ~sites:7
+        ~replicas
     with
     | Some _ -> incr plans
     | None -> ()
@@ -268,6 +274,134 @@ let run_benchmarks () =
     rows;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable metrics snapshot                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One deterministic cluster probe per commit protocol × placement:
+   throughput, latency, and message counts from the simulation (virtual
+   time, so the numbers are reproducible bit-for-bit across hosts and
+   runs, unlike the bechamel wall-clock suite). *)
+
+type probe = {
+  probe : string;
+  protocol : string;
+  placement_name : string;
+  throughput_txn_s : float;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  msgs_per_commit : float;
+  forces_per_commit : float;
+  committed : int;
+  aborted : int;
+}
+
+let json_protocols =
+  [
+    ("2PC-PrN", Config.Two_phase Two_pc.Presumed_nothing);
+    ("2PC-PrA", Config.Two_phase Two_pc.Presumed_abort);
+    ("2PC-PrC", Config.Two_phase Two_pc.Presumed_commit);
+    ("3PC", Config.Three_phase);
+    ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+  ]
+
+let json_placements =
+  [
+    ("full", None);
+    ( "sharded-2x3",
+      Some
+        (Placement.create ~map:(Shard_map.hash ~shards:2) ~sites:5 ~degree:3
+           ()) );
+  ]
+
+let run_probe ~protocol:(pname, commit_protocol)
+    ~placement:(plname, placement) =
+  let config =
+    { (Config.default ~sites:5 ()) with commit_protocol; placement; seed = 97 }
+  in
+  let mix =
+    { Mix.default with keys = 200; ops_per_txn = 2; read_fraction = 0.5 }
+  in
+  let cluster = Cluster.create config in
+  Cluster.populate cluster mix;
+  let fleet =
+    Client.start_fleet ~cluster ~clients:8 ~mix ~route_by_shard:true ()
+  in
+  let duration = T.ms 200 in
+  Cluster.run ~until:duration cluster;
+  List.iter Client.stop fleet;
+  Cluster.run ~until:(T.add duration (T.ms 100)) cluster;
+  let stats = Client.total fleet in
+  let c = Counter.get (Cluster.counters cluster) in
+  let lat = Cluster.latencies cluster in
+  let forces =
+    Array.fold_left
+      (fun acc site -> acc + Site.wal_forces site)
+      0 (Cluster.sites cluster)
+  in
+  let per_commit x =
+    if stats.committed = 0 then 0.
+    else float_of_int x /. float_of_int stats.committed
+  in
+  {
+    probe = Printf.sprintf "%s/%s" pname plname;
+    protocol = pname;
+    placement_name = plname;
+    throughput_txn_s =
+      float_of_int stats.committed /. T.to_float_s duration;
+    mean_latency_ms = Sample.mean lat *. 1e3;
+    p99_latency_ms = Sample.percentile lat 99. *. 1e3;
+    msgs_per_commit = per_commit (c "data_msgs" + c "commit_protocol_msgs");
+    forces_per_commit = per_commit forces;
+    committed = stats.committed;
+    aborted = stats.aborted;
+  }
+
+(* Hand-rolled printer so the field order is part of the contract (no
+   dependency on a JSON library's serialization order). *)
+let probe_to_json b p =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"probe\": %S, \"protocol\": %S, \"placement\": %S, \
+        \"throughput_txn_s\": %.1f, \"mean_latency_ms\": %.3f, \
+        \"p99_latency_ms\": %.3f, \"msgs_per_commit\": %.2f, \
+        \"forces_per_commit\": %.2f, \"committed\": %d, \"aborted\": %d}"
+       p.probe p.protocol p.placement_name p.throughput_txn_s
+       p.mean_latency_ms p.p99_latency_ms p.msgs_per_commit
+       p.forces_per_commit p.committed p.aborted)
+
+let next_json_path () =
+  let rec go n =
+    let path = Printf.sprintf "BENCH_%d.json" n in
+    if Sys.file_exists path then go (n + 1) else path
+  in
+  go 0
+
+let run_json () =
+  let probes =
+    List.concat_map
+      (fun protocol ->
+        List.map (fun placement -> run_probe ~protocol ~placement)
+          json_placements)
+      json_protocols
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": 1,\n  \"probes\": [\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",\n";
+      probe_to_json b p)
+    probes;
+  Buffer.add_string b "\n  ]\n}\n";
+  let path = next_json_path () in
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s (%d probes)\n" path (List.length probes)
+
 let () =
-  print_tables ();
-  run_benchmarks ()
+  if Array.exists (fun a -> a = "--json") Sys.argv then run_json ()
+  else begin
+    print_tables ();
+    run_benchmarks ()
+  end

@@ -13,7 +13,7 @@ let list_points seed protocols ns =
     (fun (name, protocol) ->
       List.iter
         (fun n ->
-          let stream = Sweep.discover ~protocol ~n ~seed in
+          let stream = Sweep.discover ~protocol ~n ~seed () in
           let tally = Hashtbl.create 32 in
           List.iter
             (fun (site, point) ->

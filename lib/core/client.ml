@@ -14,13 +14,14 @@ type t = {
   think : Time.t;
   retry_aborts : bool;
   ordered_keys : bool;
+  route_by_shard : bool;
   rng : Rng.t;
   stats : stats;
   mutable running : bool;
 }
 
 let create ~cluster ~site ~mix ?(think = Time.zero) ?(retry_aborts = true)
-    ?(ordered_keys = true) ?rng () =
+    ?(ordered_keys = true) ?(route_by_shard = false) ?rng () =
   let rng =
     match rng with
     | Some r -> r
@@ -33,6 +34,7 @@ let create ~cluster ~site ~mix ?(think = Time.zero) ?(retry_aborts = true)
     think;
     retry_aborts;
     ordered_keys;
+    route_by_shard;
     rng;
     stats = { committed = 0; aborted = 0; retries = 0 };
     running = false;
@@ -46,9 +48,27 @@ let backoff t =
   let base = Rt_net.Latency.mean (Cluster.config t.cluster).link.latency * 4 in
   Rng.uniform_time t.rng ~lo:(base / 2) ~hi:(base * 3 / 2)
 
-let rec run_txn t ops =
+(* Shard-aware routing: coordinate at a replica of the first key's
+   shard, so single-shard transactions avoid cross-site data rounds.
+   The client's home site spreads load deterministically over the
+   shard's replicas.  Off by default — the classical experiments submit
+   to the home site regardless of placement. *)
+let coordinator_for t ops =
+  if not t.route_by_shard then t.site
+  else
+    match ops with
+    | [] -> t.site
+    | op :: _ ->
+        let replicas =
+          Rt_placement.Placement.replicas_of_key
+            (Cluster.placement t.cluster)
+            (Rt_workload.Mix.op_key op)
+        in
+        List.nth replicas (t.site mod List.length replicas)
+
+let rec run_txn t ~site ops =
   if t.running then
-    Cluster.submit t.cluster ~site:t.site ~ops ~k:(fun outcome ->
+    Cluster.submit t.cluster ~site ~ops ~k:(fun outcome ->
         let engine = Cluster.engine t.cluster in
         match outcome with
         | Site.Committed ->
@@ -61,7 +81,7 @@ let rec run_txn t ops =
               t.stats.retries <- t.stats.retries + 1;
               ignore
                 (Engine.schedule_after engine (backoff t) (fun () ->
-                     run_txn t ops))
+                     run_txn t ~site ops))
             end
             else
               (* Aborts can complete synchronously (e.g. no quorum under a
@@ -78,7 +98,7 @@ and next_txn t =
       if t.ordered_keys then Rt_workload.Mix.next_txn t.gen
       else Rt_workload.Mix.next_txn_unordered t.gen
     in
-    run_txn t ops
+    run_txn t ~site:(coordinator_for t ops) ops
   end
 
 let start t =
@@ -91,12 +111,13 @@ let start t =
            next_txn t))
   end
 
-let start_fleet ~cluster ~clients ~mix ?think ?retry_aborts ?ordered_keys () =
+let start_fleet ~cluster ~clients ~mix ?think ?retry_aborts ?ordered_keys
+    ?route_by_shard () =
   let sites = (Cluster.config cluster).sites in
   List.init clients (fun i ->
       let c =
         create ~cluster ~site:(i mod sites) ~mix ?think ?retry_aborts
-          ?ordered_keys ()
+          ?ordered_keys ?route_by_shard ()
       in
       start c;
       c)

@@ -21,6 +21,7 @@ val create :
   ?think:Time.t ->
   ?retry_aborts:bool ->
   ?ordered_keys:bool ->
+  ?route_by_shard:bool ->
   ?rng:Rng.t ->
   unit ->
   t
@@ -28,7 +29,11 @@ val create :
     submission.  [retry_aborts] (default true) resubmits the same
     operations as a fresh transaction after a randomized backoff.
     [ordered_keys] (default true) sorts each transaction's keys — the
-    deadlock-avoidance discipline; turn it off to measure deadlocks. *)
+    deadlock-avoidance discipline; turn it off to measure deadlocks.
+    [route_by_shard] (default false) coordinates each transaction at a
+    replica of its first key's shard instead of the fixed home site, so
+    single-shard transactions under a sharded placement avoid remote
+    data rounds. *)
 
 val start : t -> unit
 
@@ -43,6 +48,7 @@ val start_fleet :
   ?think:Time.t ->
   ?retry_aborts:bool ->
   ?ordered_keys:bool ->
+  ?route_by_shard:bool ->
   unit ->
   t list
 (** [clients] closed-loop clients spread round-robin over the sites, each

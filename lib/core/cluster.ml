@@ -33,6 +33,7 @@ let create ?engine config =
 
 let engine t = t.engine
 let config t = t.config
+let placement t = Config.placement t.config
 
 let site t i =
   if i < 0 || i >= Array.length t.sites then
@@ -62,11 +63,33 @@ let latencies t =
     (fun acc site -> Rt_metrics.Sample.merge acc (Site.latencies site))
     (Rt_metrics.Sample.create ()) t.sites
 
+(* One shard's slice of a site's store, key-sorted. *)
+let shard_slice placement ~shard kv =
+  Rt_storage.Kv.snapshot kv
+  |> List.filter (fun (key, _) ->
+         Rt_placement.Placement.shard_of_key placement key = shard)
+
 let converged t =
-  let up = Array.to_list t.sites |> List.filter Site.is_up in
-  match up with
-  | [] | [ _ ] -> true
-  | first :: rest ->
-      List.for_all
-        (fun s -> Rt_storage.Kv.equal (Site.kv first) (Site.kv s))
-        rest
+  let placement = Config.placement t.config in
+  let shard_ids =
+    List.init (Rt_placement.Placement.shards placement) (fun i -> i)
+  in
+  (* Convergence is per shard: every up replica of a shard must hold a
+     byte-identical slice of it.  Non-replicas hold nothing of the shard
+     and are not consulted.  Under full replication this degenerates to
+     the classical whole-store comparison across all up sites. *)
+  List.for_all
+    (fun shard ->
+      let up =
+        Rt_placement.Placement.replicas placement ~shard
+        |> List.map (fun i -> t.sites.(i))
+        |> List.filter Site.is_up
+      in
+      match up with
+      | [] | [ _ ] -> true
+      | first :: rest ->
+          let reference = shard_slice placement ~shard (Site.kv first) in
+          List.for_all
+            (fun s -> shard_slice placement ~shard (Site.kv s) = reference)
+            rest)
+    shard_ids

@@ -15,6 +15,10 @@ val engine : t -> Engine.t
 
 val config : t -> Config.t
 
+val placement : t -> Rt_placement.Placement.t
+(** The effective key→shard→replica placement (degenerate full
+    replication when the config sets none). *)
+
 val site : t -> Ids.site_id -> Site.t
 
 val sites : t -> Site.t array
@@ -47,15 +51,17 @@ val partition : t -> Ids.site_id list list -> unit
 val heal : t -> unit
 
 val populate : t -> Rt_workload.Mix.t -> unit
-(** Install the mix's initial keys directly into every site's store and
-    checkpoint, bypassing the transaction machinery (simulated initial
-    state). *)
+(** Install the mix's initial keys directly into the stores and
+    checkpoints, bypassing the transaction machinery (simulated initial
+    state).  Each site keeps only the keys of shards it replicates. *)
 
 val latencies : t -> Rt_metrics.Sample.t
 (** Merged commit-latency samples (seconds) across every site. *)
 
 val converged : t -> bool
-(** All up sites hold byte-identical stores — the replica-consistency
-    check used by integration tests.  Quorum configurations legitimately
-    diverge on stale copies, so this is meaningful for ROWA-style
-    protocols (and for quorum after a write-all round). *)
+(** Every up replica of each shard holds a byte-identical slice of that
+    shard — the replica-consistency check used by integration tests.
+    Under full replication this is the classical whole-store comparison
+    across all up sites.  Quorum configurations legitimately diverge on
+    stale copies, so this is meaningful for ROWA-style protocols (and
+    for quorum after a write-all round). *)

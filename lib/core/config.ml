@@ -21,6 +21,7 @@ type t = {
   concurrency : concurrency;
   commit_protocol : commit_protocol;
   replica_control : Rt_replica.Replica_control.t;
+  placement : Rt_placement.Placement.t option;
   link : Rt_net.Net.link;
   force_latency : Time.t;
   lock_wait_timeout : Time.t;
@@ -42,6 +43,7 @@ let default ?(sites = 3) () =
     concurrency = Locking;
     commit_protocol = Two_phase Rt_commit.Two_pc.Presumed_abort;
     replica_control = Rt_replica.Replica_control.rowa;
+    placement = None;
     link =
       Rt_net.Net.reliable_link
         (Rt_net.Latency.Exponential { min = Time.us 20; mean = Time.us 100 });
@@ -64,10 +66,44 @@ let default ?(sites = 3) () =
     seed = 0;
   }
 
+let placement t =
+  match t.placement with
+  | Some p -> p
+  | None -> Rt_placement.Placement.full ~sites:t.sites
+
 let validate t =
   if t.sites <= 0 then invalid_arg "Config: sites must be positive";
   if t.orphan_window_factor < 1 then
     invalid_arg "Config: orphan_window_factor must be at least 1";
+  let non_negative name v =
+    if Rt_sim.Time.(v < zero) then
+      invalid_arg (Printf.sprintf "Config: %s must be non-negative" name)
+  in
+  non_negative "force_latency" t.force_latency;
+  non_negative "lock_wait_timeout" t.lock_wait_timeout;
+  non_negative "op_timeout" t.op_timeout;
+  non_negative "commit_timeouts.vote_collect" t.commit_timeouts.vote_collect;
+  non_negative "commit_timeouts.decision_wait" t.commit_timeouts.decision_wait;
+  non_negative "commit_timeouts.resend_every" t.commit_timeouts.resend_every;
+  non_negative "recovery_per_record" t.recovery_per_record;
+  if Rt_sim.Time.(t.heartbeat_interval <= zero) then
+    invalid_arg "Config: heartbeat_interval must be positive";
+  if t.heartbeat_miss < 1 then
+    invalid_arg "Config: heartbeat_miss must be at least 1";
+  if t.checkpoint_every < 0 then
+    invalid_arg "Config: checkpoint_every must be non-negative";
+  (match t.placement with
+  | None -> ()
+  | Some p ->
+      (* Placement.create already rejects degree < 1 and degree > sites of
+         its own site count; here the placement must also describe *this*
+         cluster. *)
+      if Rt_placement.Placement.sites p <> t.sites then
+        invalid_arg "Config: placement site count does not match sites";
+      if Rt_placement.Placement.degree p > t.sites then
+        invalid_arg "Config: replication degree exceeds site count";
+      if Rt_placement.Placement.degree p < 1 then
+        invalid_arg "Config: replication degree must be at least 1");
   (match t.replica_control with
   | Rt_replica.Replica_control.Primary_copy p ->
       if p < 0 || p >= t.sites then
@@ -83,6 +119,8 @@ let validate t =
       let majority = (t.sites / 2) + 1 in
       let vc = Option.value commit_quorum ~default:majority in
       let va = Option.value abort_quorum ~default:majority in
+      if vc < 1 || va < 1 then
+        invalid_arg "Config: commit/abort quorums must be positive";
       if vc + va <= t.sites then
         invalid_arg "Config: commit/abort quorums must overlap"
   | Two_phase _ | Three_phase -> ()

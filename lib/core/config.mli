@@ -22,6 +22,13 @@ type t = {
   concurrency : concurrency;
   commit_protocol : commit_protocol;
   replica_control : Rt_replica.Replica_control.t;
+  placement : Rt_placement.Placement.t option;
+      (** Key→shard→replica-set assignment.  [None] (the default) is full
+          replication: one shard held by every site, the paper's classical
+          setting.  A sharded placement makes every read/write plan,
+          commit participant set, checkpoint, and catch-up transfer
+          per-shard; cross-shard transactions run the configured commit
+          protocol over the union of the touched shards' replica sets. *)
   link : Rt_net.Net.link;  (** Default link between every pair of sites. *)
   force_latency : Time.t;  (** Stable-storage force cost. *)
   lock_wait_timeout : Time.t;
@@ -52,9 +59,16 @@ type t = {
 }
 
 val default : ?sites:int -> unit -> t
-(** Three sites, 2PC presumed-abort, ROWA, exponential 100µs links,
-    50µs log force. *)
+(** Three sites, 2PC presumed-abort, ROWA, full replication, exponential
+    100µs links, 50µs log force. *)
+
+val placement : t -> Rt_placement.Placement.t
+(** The effective placement: the configured one, or the degenerate
+    full-replication placement over [sites] when none is set. *)
 
 val validate : t -> unit
-(** Raises [Invalid_argument] on inconsistent settings (e.g. a primary
-    site out of range, quorum thresholds vs. site count). *)
+(** Raises [Invalid_argument] on inconsistent settings: non-positive site
+    count, a placement whose site count or replication degree disagrees
+    with [sites], a primary site out of range, quorum thresholds that
+    violate intersection or don't match the site count, negative
+    latencies/timeouts, or a non-positive heartbeat interval. *)

@@ -9,6 +9,8 @@ module Mix = Rt_workload.Mix
 module Availability = Rt_quorum.Availability
 module Votes = Rt_quorum.Votes
 module Workbench = Rt_cc.Workbench
+module Placement = Rt_placement.Placement
+module Shard_map = Rt_placement.Shard_map
 
 type spec = {
   id : string;
@@ -41,11 +43,12 @@ let cluster_protocols =
 
 (* Run a closed-loop workload and report client stats plus the cluster. *)
 let loaded_run ?(seed = 1) ?(retry_aborts = true) ?(ordered_keys = true)
-    ~config ~mix ~clients ~duration () =
+    ?(route_by_shard = false) ~config ~mix ~clients ~duration () =
   let cluster = Cluster.create config in
   Cluster.populate cluster mix;
   let fleet =
-    Client.start_fleet ~cluster ~clients ~mix ~retry_aborts ~ordered_keys ()
+    Client.start_fleet ~cluster ~clients ~mix ~retry_aborts ~ordered_keys
+      ~route_by_shard ()
   in
   ignore seed;
   Cluster.run ~until:duration cluster;
@@ -1079,9 +1082,157 @@ let a5 =
         table);
   }
 
+(* ------------------------------------------------------------------ *)
+(* S1: throughput vs shard count                                        *)
+(* ------------------------------------------------------------------ *)
+
+let s1 =
+  {
+    id = "S1";
+    title =
+      "Sharding: throughput vs shard count (N=9 fixed, 3 replicas per \
+       shard, round-robin placement, shard-routed clients, write-heavy)";
+    table =
+      (fun () ->
+        let table =
+          Table.create
+            ~columns:
+              [ "shards"; "degree"; "committed/s"; "abort %";
+                "msgs per commit" ]
+        in
+        let sites = 9 in
+        List.iter
+          (fun shards ->
+            let placement =
+              Placement.create ~map:(Shard_map.hash ~shards) ~sites ~degree:3
+                ()
+            in
+            let config =
+              { (Config.default ~sites ()) with
+                placement = Some placement; seed = 83 }
+            in
+            (* Single-operation (hence single-shard) transactions: the
+               pure partitioning claim.  S2 prices the cross-shard
+               mixture separately. *)
+            let mix =
+              { Mix.default with keys = 360; ops_per_txn = 1;
+                read_fraction = 0. }
+            in
+            let duration = Time.ms 400 in
+            let cluster, stats =
+              loaded_run ~config ~mix ~clients:18 ~duration
+                ~route_by_shard:true ()
+            in
+            let c = Counter.get (Cluster.counters cluster) in
+            let total = stats.committed + stats.aborted in
+            Table.add_row table
+              [
+                Table.cell_i shards;
+                Table.cell_i 3;
+                f1dec
+                  (float_of_int stats.committed /. Time.to_float_s duration);
+                f1dec
+                  (if total = 0 then 0.
+                   else 100. *. float_of_int stats.aborted
+                        /. float_of_int total);
+                f1dec
+                  (if stats.committed = 0 then 0.
+                   else
+                     float_of_int (c "data_msgs" + c "commit_protocol_msgs")
+                     /. float_of_int stats.committed);
+              ])
+          [ 1; 2; 4; 8 ];
+        table);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* S2: commit cost vs cross-shard fraction                              *)
+(* ------------------------------------------------------------------ *)
+
+let s2 =
+  {
+    id = "S2";
+    title =
+      "Sharding: commit cost vs cross-shard fraction (N=6, two range \
+       shards on disjoint replica triples, single client at a shard-0 \
+       replica, 2PC-PrA, write-only)";
+    table =
+      (fun () ->
+        let table =
+          Table.create
+            ~columns:
+              [ "cross-shard fraction"; "committed"; "mean ms"; "p99 ms";
+                "msgs per txn"; "forces per txn" ]
+        in
+        List.iter
+          (fun frac ->
+            let sites = 6 in
+            (* Range split at "b": "a…" keys → shard 0 on {0,1,2},
+               "b…" keys → shard 1 on {3,4,5} (Spread layout). *)
+            let placement =
+              Placement.create ~layout:Placement.Spread
+                ~map:(Shard_map.range ~boundaries:[ "b" ])
+                ~sites ~degree:3 ()
+            in
+            let config =
+              { (Config.default ~sites ()) with
+                placement = Some placement; seed = 89 }
+            in
+            let cluster = Cluster.create config in
+            let n = 200 in
+            (* Bresenham spread of cross-shard transactions through the
+               sequence: txn i is cross-shard iff the running integral of
+               [frac] steps. *)
+            let cross i =
+              int_of_float (frac *. float_of_int (i + 1))
+              > int_of_float (frac *. float_of_int i)
+            in
+            let key p i = Printf.sprintf "%s%02d" p (i mod 20) in
+            let ops i =
+              if cross i then
+                [ Mix.Write (key "a" i, "v"); Mix.Write (key "b" i, "v") ]
+              else
+                [ Mix.Write (key "a" i, "v"); Mix.Write (key "a" (i + 7), "v") ]
+            in
+            let committed = ref 0 in
+            let engine = Cluster.engine cluster in
+            let rec go i =
+              if i < n then
+                Cluster.submit cluster ~site:0 ~ops:(ops i) ~k:(fun o ->
+                    if o = Site.Committed then incr committed;
+                    ignore
+                      (Engine.schedule_after engine (Time.us 10) (fun () ->
+                           go (i + 1))))
+            in
+            go 0;
+            Cluster.run ~until:(Time.sec 2) cluster;
+            let c = Counter.get (Cluster.counters cluster) in
+            let lat = Cluster.latencies cluster in
+            let forces =
+              Array.fold_left
+                (fun acc site -> acc + Site.wal_forces site)
+                0 (Cluster.sites cluster)
+            in
+            let per_txn x =
+              if !committed = 0 then 0.
+              else float_of_int x /. float_of_int !committed
+            in
+            Table.add_row table
+              [
+                f2dec frac;
+                Table.cell_i !committed;
+                f2dec (Sample.mean lat *. 1e3);
+                f2dec (Sample.percentile lat 99. *. 1e3);
+                f1dec (per_txn (c "data_msgs" + c "commit_protocol_msgs"));
+                f2dec (per_txn forces);
+              ])
+          [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+        table);
+  }
+
 let all =
   [ t1; t2; t3; t4; t5; t6; f1; f2; f3; f4; f5; f6; f7; f8; a1; a2; a3; a4;
-    a5 ]
+    a5; s1; s2 ]
 
 let find id =
   let id = String.lowercase_ascii id in

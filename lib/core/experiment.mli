@@ -75,8 +75,16 @@ val a5 : spec
 (** Ablation: distributed concurrency control — 2PL vs timestamp
     ordering. *)
 
+val s1 : spec
+(** Sharding: throughput vs shard count at fixed cluster size — the
+    placement layer's scaling claim. *)
+
+val s2 : spec
+(** Sharding: commit cost vs cross-shard fraction — single-shard fast
+    path vs cross-shard 2PC over disjoint replica sets. *)
+
 val all : spec list
-(** In presentation order T1..T6, F1..F8, A1..A5. *)
+(** In presentation order T1..T6, F1..F8, A1..A5, S1..S2. *)
 
 val find : string -> spec option
 (** Case-insensitive lookup by id. *)

@@ -20,6 +20,16 @@ let schedule cluster events =
       ignore (Engine.schedule_at engine at (fun () -> apply cluster event)))
     events
 
+let isolate_shard cluster ~shard =
+  let placement = Cluster.placement cluster in
+  let members = Rt_placement.Placement.replicas placement ~shard in
+  let rest =
+    List.init (Cluster.config cluster).sites (fun i -> i)
+    |> List.filter (fun s -> not (List.mem s members))
+  in
+  Cluster.partition cluster
+    (if rest = [] then [ members ] else [ members; rest ])
+
 type process = { mutable running : bool }
 
 let random_crashes cluster ~mttf ~mttr ?(protect = []) () =

@@ -13,6 +13,11 @@ type event =
 val schedule : Cluster.t -> (Time.t * event) list -> unit
 (** Install a fixed schedule of failure events (absolute virtual times). *)
 
+val isolate_shard : Cluster.t -> shard:int -> unit
+(** Partition the network so one shard's replica set is cut off from
+    every other site.  Cross-shard transactions coordinated outside the
+    island must then abort (no split-brain); heal with {!Cluster.heal}. *)
+
 type process
 
 val random_crashes :

@@ -15,6 +15,7 @@ module Recovery = Rt_storage.Recovery
 module Heartbeat = Rt_member.Heartbeat
 module Counter = Rt_metrics.Counter
 module Sample = Rt_metrics.Sample
+module Placement = Rt_placement.Placement
 module Tid = Ids.Txn_id
 module Sset = Set.Make (Int)
 
@@ -89,6 +90,9 @@ type coord_ctx = {
   co_started : Time.t;
   mutable co_ops : Rt_workload.Mix.op list;
   mutable co_touched : Sset.t;
+  mutable co_shards : Sset.t;
+      (* Shard ids touched by this transaction's reads/writes; the
+         commit protocol's scope is the union of their replica sets. *)
   co_site_writes : (Ids.site_id, (string * string * int) list ref) Hashtbl.t;
   co_cache : (string, string) Hashtbl.t;
   mutable co_machine : Erased.t option;
@@ -105,6 +109,13 @@ type t = {
   engine : Engine.t;
   id : Ids.site_id;
   config : Config.t;
+  placement : Placement.t;
+  site_ids : Ids.site_id list;  (* [0; ..; sites-1], precomputed. *)
+  others : Ids.site_id list;  (* site_ids minus self, precomputed. *)
+  catchup_peers : Ids.site_id list;
+      (* Sites sharing at least one shard with us — the only ones that
+         can answer a catch-up request.  Equals [others] under full
+         replication. *)
   send_raw : dst:Ids.site_id -> Msg.t -> unit;
   counters : Counter.t;
   kv : Kv.t;
@@ -197,10 +208,16 @@ let pending_protocol_timers t =
 
 let create ~engine ~id ~config ~send ~counters =
   Config.validate config;
+  let placement = Config.placement config in
+  let site_ids = List.init config.Config.sites (fun i -> i) in
   {
     engine;
     id;
     config;
+    placement;
+    site_ids;
+    others = List.filter (fun s -> s <> id) site_ids;
+    catchup_peers = Placement.co_replicas placement ~site:id;
     send_raw = send;
     counters;
     kv = Kv.create ();
@@ -222,7 +239,8 @@ let create ~engine ~id ~config ~send ~counters =
     lat = Sample.create ();
   }
 
-let all_site_ids t = List.init t.config.sites (fun i -> i)
+let all_site_ids t = t.site_ids
+let placement t = t.placement
 
 let up_pred t s =
   if s = t.id then t.up
@@ -233,7 +251,7 @@ let up_view t =
   else
     t.id :: (match t.hb with
              | Some hb -> Heartbeat.up_peers hb
-             | None -> List.filter (fun s -> s <> t.id) (all_site_ids t))
+             | None -> t.others)
     |> List.sort_uniq Int.compare
 
 (* Run [f] only if the site is still in the same incarnation (and up):
@@ -592,7 +610,8 @@ and maybe_checkpoint t =
   if every > 0 && t.commits_since_cp >= every then begin
     t.commits_since_cp <- 0;
     let durable = Wal.durable_lsn t.wal in
-    Checkpoint.take t.cp ~kv:t.kv ~lsn:durable;
+    Checkpoint.take t.cp ~kv:t.kv ~lsn:durable
+      ~shard_of:(Placement.shard_of_key t.placement);
     (* Keep records needed by unresolved transactions. *)
     let floor =
       (* rt_lint: allow deterministic-iteration -- commutative minimum *)
@@ -806,6 +825,19 @@ let site_writes_for ctx dst =
   | Some r -> List.rev !r
   | None -> []
 
+(* Every replica of every shard this transaction touched — the full set
+   of copies the commit protocol is answerable for, including down ones
+   the plans skipped.  Under full replication this is all sites. *)
+let txn_scope t ctx =
+  Sset.fold
+    (fun shard acc ->
+      List.fold_left
+        (fun acc s -> Sset.add s acc)
+        acc
+        (Placement.replicas t.placement ~shard))
+    ctx.co_shards Sset.empty
+  |> Sset.elements
+
 let rec interpret_coord t ctx actions =
   List.iter
     (fun (action : P.action) ->
@@ -821,7 +853,7 @@ let rec interpret_coord t ctx actions =
                   then
                     List.filter
                       (fun s -> not (up_pred t s))
-                      (all_site_ids t)
+                      (txn_scope t ctx)
                   else []
                 in
                 Some
@@ -935,11 +967,13 @@ let rec do_read t ctx ~key ~k =
     | None -> (
         match
           RC.read_plan t.config.replica_control ~self:t.id ~up:(up_pred t)
-            ~sites:t.config.sites
+            ~replicas:(Placement.replicas_of_key t.placement key)
         with
         | None ->
             abort_coord_early t ctx Unavailable
         | Some plan ->
+            ctx.co_shards <-
+              Sset.add (Placement.shard_of_key t.placement key) ctx.co_shards;
             ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
             let timer =
               Engine.schedule_after t.engine t.config.op_timeout
@@ -967,10 +1001,12 @@ and do_write t ctx ~key ~value ~k =
   else
     match
       RC.write_plan t.config.replica_control ~self:t.id ~up:(up_pred t)
-        ~sites:t.config.sites
+        ~replicas:(Placement.replicas_of_key t.placement key)
     with
     | None -> abort_coord_early t ctx Unavailable
     | Some plan ->
+        ctx.co_shards <-
+          Sset.add (Placement.shard_of_key t.placement key) ctx.co_shards;
         ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
         let timer =
           Engine.schedule_after t.engine t.config.op_timeout
@@ -1099,6 +1135,7 @@ let new_coord_ctx t ~ops ~k =
       co_started = Engine.now t.engine;
       co_ops = ops;
       co_touched = Sset.empty;
+      co_shards = Sset.empty;
       co_site_writes = Hashtbl.create 8;
       co_cache = Hashtbl.create 8;
       co_machine = None;
@@ -1378,7 +1415,11 @@ let handle_catchup_reply t entries ~complete =
   if t.catching then begin
     List.iter
       (fun (key, value, version) ->
-        if version > Kv.version t.kv key then Kv.set t.kv ~key ~value ~version)
+        (* A peer may replicate shards we don't; install only our own. *)
+        if
+          Placement.owns_key t.placement ~site:t.id key
+          && version > Kv.version t.kv key
+        then Kv.set t.kv ~key ~value ~version)
       entries;
     if complete then begin
       t.catching <- false;
@@ -1498,12 +1539,13 @@ let recover t =
              start_hb t;
              if
                RC.needs_catchup_on_recovery t.config.replica_control
-               && t.config.sites > 1
+               && t.catchup_peers <> []
              then begin
                t.catching <- true;
-               let peers =
-                 List.filter (fun s -> s <> t.id) (all_site_ids t)
-               in
+               (* Only sites sharing a shard hold data we need; a site
+                  replicating nothing has nobody to ask (and nothing to
+                  learn). *)
+               let peers = t.catchup_peers in
                let n_peers = List.length peers in
                let attempt = ref 0 in
                let rec ask () =
@@ -1533,9 +1575,12 @@ let recover t =
 
 let preload t ~entries =
   List.iter
-    (fun (key, value) -> Kv.set t.kv ~key ~value ~version:1)
+    (fun (key, value) ->
+      if Placement.owns_key t.placement ~site:t.id key then
+        Kv.set t.kv ~key ~value ~version:1)
     entries;
   Checkpoint.take t.cp ~kv:t.kv ~lsn:(Wal.durable_lsn t.wal)
+    ~shard_of:(Placement.shard_of_key t.placement)
 
 (* ------------------------------------------------------------------ *)
 (* Delivery entry point                                                 *)

@@ -47,6 +47,14 @@ val create :
 
 val id : t -> Ids.site_id
 
+val placement : t -> Rt_placement.Placement.t
+(** The effective placement this site routes by (the configured one, or
+    degenerate full replication). *)
+
+val all_site_ids : t -> Ids.site_id list
+(** Every site id in the cluster, ascending.  Precomputed at [create];
+    callers on hot paths may hold onto it freely. *)
+
 val start : t -> unit
 (** Begin heartbeating.  Call once after every site is registered. *)
 

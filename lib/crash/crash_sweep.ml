@@ -8,6 +8,7 @@ module Tid = Rt_types.Ids.Txn_id
 type case = {
   cs_protocol : string;
   cs_n : int;
+  cs_placement : string;  (* "full" or a sharded configuration name *)
   cs_site : int;
   cs_role : string;
   cs_point : string;
@@ -15,8 +16,8 @@ type case = {
 }
 
 let pp_case fmt c =
-  Format.fprintf fmt "%s n=%d %s(site %d) %s#%d" c.cs_protocol c.cs_n c.cs_role
-    c.cs_site c.cs_point c.cs_occurrence
+  Format.fprintf fmt "%s n=%d %s %s(site %d) %s#%d" c.cs_protocol c.cs_n
+    c.cs_placement c.cs_role c.cs_site c.cs_point c.cs_occurrence
 
 type violation = { v_case : case; v_invariant : string; v_detail : string }
 
@@ -26,6 +27,7 @@ let pp_violation fmt v =
 type summary = {
   sm_protocol : string;
   sm_n : int;
+  sm_placement : string;
   sm_points : int;  (* distinct (site, point) pairs targeted *)
   sm_cases : int;
   sm_violations : int;
@@ -48,6 +50,38 @@ let default_protocols =
 
 let default_ns = [ 3; 5 ]
 
+(* Two range shards split at "b" (workload key "a" → shard 0, "b" →
+   shard 1), round-robin replica sets of 3: for n=5 that is shard 0 on
+   {0,1,2} and shard 1 on {1,2,3} — the coordinator (site 0) replicates
+   one shard, the targeted participant (site 1) both, and site 4
+   nothing, so the sweep exercises cross-shard 2PC/3PC/QC, partial
+   participant sets, and non-replica hygiene all at once. *)
+let sharded_placement ~n =
+  Rt_placement.Placement.create
+    ~map:(Rt_placement.Shard_map.range ~boundaries:[ "b" ])
+    ~sites:n
+    ~degree:(min 3 (n - 1))
+    ()
+
+type placement_choice = Full | Sharded of Rt_placement.Placement.t | Skip
+
+type sweep_config = {
+  cf_name : string;
+  cf_choose : int -> placement_choice;
+}
+
+let default_configs =
+  [
+    { cf_name = "full"; cf_choose = (fun _ -> Full) };
+    {
+      cf_name = "sharded";
+      cf_choose =
+        (fun n ->
+          (* Below 4 sites a 3-replica shard is not genuinely partial. *)
+          if n >= 4 then Sharded (sharded_placement ~n) else Skip);
+    };
+  ]
+
 (* The swept run: one distributed write transaction submitted at site 0.
    Under ROWA every site is a write participant, which is exactly what
    the durability invariant needs.  The horizon leaves ample room for
@@ -58,9 +92,10 @@ let workload = [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "
 
 let roles = [ (0, "coordinator"); (1, "participant") ]
 
-let make_cluster ~protocol ~n ~seed =
+let make_cluster ?placement ~protocol ~n ~seed () =
   let config =
-    { (Config.default ~sites:n ()) with commit_protocol = protocol; seed }
+    { (Config.default ~sites:n ()) with commit_protocol = protocol; placement;
+      seed }
   in
   Cluster.create config
 
@@ -74,8 +109,8 @@ let start_workload cluster =
 
 (* Discovery pass: run the workload uninjected and record the ordered
    stream of (site, point) announcements for the sites we target. *)
-let discover ~protocol ~n ~seed =
-  let cluster = make_cluster ~protocol ~n ~seed in
+let discover ?placement ~protocol ~n ~seed () =
+  let cluster = make_cluster ?placement ~protocol ~n ~seed () in
   let points = Rt_core.Failure.observe_crash_points cluster in
   let _outcome = start_workload cluster in
   Cluster.run ~until:horizon cluster;
@@ -160,14 +195,18 @@ let audit ~case ~cluster ~outcome ~reached =
                 (List.map (fun (s, _) -> string_of_int s) aborts))))
     txns;
   (* Durability: a committed transaction's writes survive on every copy
-     (ROWA writes all), and the stores agree byte for byte. *)
+     of the written key's shard (ROWA writes all replicas; under full
+     replication that is every site), and the replicas agree byte for
+     byte per shard. *)
+  let placement = Cluster.placement cluster in
   if !committed then
-    Array.iter
-      (fun s ->
-        List.iter
-          (fun op ->
-            match op with
-            | Rt_workload.Mix.Write (key, value) ->
+    List.iter
+      (fun op ->
+        match op with
+        | Rt_workload.Mix.Write (key, value) ->
+            List.iter
+              (fun id ->
+                let s = Cluster.site cluster id in
                 let have =
                   Option.map (fun (i : Kv.item) -> i.value)
                     (Kv.get (Site.kv s) key)
@@ -177,16 +216,16 @@ let audit ~case ~cluster ~outcome ~reached =
                     (Printf.sprintf
                        "site %d: committed write %s=%s missing (found %s)"
                        (Site.id s) key value
-                       (Option.value have ~default:"nothing"))
-            | Rt_workload.Mix.Read _ -> ())
-          workload)
-      sites;
+                       (Option.value have ~default:"nothing")))
+              (Rt_placement.Placement.replicas_of_key placement key)
+        | Rt_workload.Mix.Read _ -> ())
+      workload;
   if not (Cluster.converged cluster) then
     add "durability" "stores diverge at horizon";
   List.rev !violations
 
-let run_case ~case ~protocol ~seed =
-  let cluster = make_cluster ~protocol ~n:case.cs_n ~seed in
+let run_case ?placement ~case ~protocol ~seed () =
+  let cluster = make_cluster ?placement ~protocol ~n:case.cs_n ~seed () in
   let injected =
     Rt_core.Failure.crash_at_point cluster ~site:case.cs_site
       ~point:case.cs_point ~occurrence:case.cs_occurrence ~recover_after
@@ -195,7 +234,8 @@ let run_case ~case ~protocol ~seed =
   Cluster.run ~until:horizon cluster;
   audit ~case ~cluster ~outcome ~reached:(injected ())
 
-let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns) () =
+let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
+    ?(configs = default_configs) () =
   let summaries = ref [] in
   let violations = ref [] in
   let total = ref 0 in
@@ -203,42 +243,59 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns) () =
     (fun (name, protocol) ->
       List.iter
         (fun n ->
-          let stream = discover ~protocol ~n ~seed in
-          (* Each occurrence in the discovery stream is one injection. *)
-          let occ = Hashtbl.create 32 in
-          let cases =
-            List.map
-              (fun (site, point) ->
-                let k =
-                  1 + Option.value (Hashtbl.find_opt occ (site, point)) ~default:0
-                in
-                Hashtbl.replace occ (site, point) k;
-                {
-                  cs_protocol = name;
-                  cs_n = n;
-                  cs_site = site;
-                  cs_role = List.assoc site roles;
-                  cs_point = point;
-                  cs_occurrence = k;
-                })
-              stream
-          in
-          let vs =
-            List.concat_map
-              (fun case -> run_case ~case ~protocol ~seed)
-              cases
-          in
-          total := !total + List.length cases;
-          violations := !violations @ vs;
-          summaries :=
-            {
-              sm_protocol = name;
-              sm_n = n;
-              sm_points = Hashtbl.length occ;
-              sm_cases = List.length cases;
-              sm_violations = List.length vs;
-            }
-            :: !summaries)
+          List.iter
+            (fun cf ->
+              match cf.cf_choose n with
+              | Skip -> ()
+              | (Full | Sharded _) as choice ->
+                  let placement =
+                    match choice with
+                    | Sharded p -> Some p
+                    | Full | Skip -> None
+                  in
+                  let stream = discover ?placement ~protocol ~n ~seed () in
+                  (* Each occurrence in the discovery stream is one
+                     injection. *)
+                  let occ = Hashtbl.create 32 in
+                  let cases =
+                    List.map
+                      (fun (site, point) ->
+                        let k =
+                          1
+                          + Option.value
+                              (Hashtbl.find_opt occ (site, point))
+                              ~default:0
+                        in
+                        Hashtbl.replace occ (site, point) k;
+                        {
+                          cs_protocol = name;
+                          cs_n = n;
+                          cs_placement = cf.cf_name;
+                          cs_site = site;
+                          cs_role = List.assoc site roles;
+                          cs_point = point;
+                          cs_occurrence = k;
+                        })
+                      stream
+                  in
+                  let vs =
+                    List.concat_map
+                      (fun case -> run_case ?placement ~case ~protocol ~seed ())
+                      cases
+                  in
+                  total := !total + List.length cases;
+                  violations := !violations @ vs;
+                  summaries :=
+                    {
+                      sm_protocol = name;
+                      sm_n = n;
+                      sm_placement = cf.cf_name;
+                      sm_points = Hashtbl.length occ;
+                      sm_cases = List.length cases;
+                      sm_violations = List.length vs;
+                    }
+                    :: !summaries)
+            configs)
         ns)
     protocols;
   {
@@ -250,13 +307,13 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns) () =
 let render report =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "| protocol | n | crash points | cases | violations |\n";
-  Buffer.add_string buf "|---|---|---|---|---|\n";
+    "| protocol | n | placement | crash points | cases | violations |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|\n";
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "| %s | %d | %d | %d | %d |\n" s.sm_protocol s.sm_n
-           s.sm_points s.sm_cases s.sm_violations))
+        (Printf.sprintf "| %s | %d | %s | %d | %d | %d |\n" s.sm_protocol
+           s.sm_n s.sm_placement s.sm_points s.sm_cases s.sm_violations))
     report.rp_summaries;
   Buffer.add_string buf
     (Printf.sprintf "\ntotal: %d cases, %d violations\n" report.rp_cases

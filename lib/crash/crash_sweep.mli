@@ -1,6 +1,7 @@
 (** Deterministic crash-point sweep over the commit protocols.
 
-    For each protocol × cluster size, a discovery pass runs one
+    For each protocol × cluster size × placement configuration (full
+    replication and a sharded placement), a discovery pass runs one
     distributed write transaction with the crash-point hook recording
     every announcement at the coordinator site (0) and one participant
     site (1).  Each recorded occurrence then becomes an injection run:
@@ -15,6 +16,8 @@
 type case = {
   cs_protocol : string;
   cs_n : int;
+  cs_placement : string;
+      (** ["full"] or the sharded configuration's name. *)
   cs_site : int;  (** The crashed site. *)
   cs_role : string;  (** ["coordinator"] (site 0) or ["participant"]. *)
   cs_point : string;
@@ -30,6 +33,7 @@ val pp_violation : Format.formatter -> violation -> unit
 type summary = {
   sm_protocol : string;
   sm_n : int;
+  sm_placement : string;
   sm_points : int;  (** Distinct (site, point) pairs targeted. *)
   sm_cases : int;
   sm_violations : int;
@@ -47,21 +51,51 @@ val default_protocols : (string * Rt_core.Config.commit_protocol) list
 val default_ns : int list
 (** Cluster sizes swept by default: 3 and 5. *)
 
+val sharded_placement : n:int -> Rt_placement.Placement.t
+(** Two range shards split at "b" with round-robin replica sets of
+    [min 3 (n-1)] sites: the sweep's partial-replication configuration
+    (the coordinator replicates one shard, the targeted participant
+    both, and for n=5 site 4 replicates nothing). *)
+
+type placement_choice = Full | Sharded of Rt_placement.Placement.t | Skip
+
+type sweep_config = {
+  cf_name : string;
+  cf_choose : int -> placement_choice;
+      (** Placement for a cluster size, or [Skip] to omit that size. *)
+}
+
+val default_configs : sweep_config list
+(** Full replication at every size, plus the {!sharded_placement}
+    configuration at sizes ≥ 4. *)
+
 val sweep :
   ?seed:int ->
   ?protocols:(string * Rt_core.Config.commit_protocol) list ->
   ?ns:int list ->
+  ?configs:sweep_config list ->
   unit ->
   report
-(** Run the full sweep (default: every protocol × every size, seed 0). *)
+(** Run the full sweep (default: every protocol × every size × every
+    placement configuration, seed 0). *)
 
 val run_case :
-  case:case -> protocol:Rt_core.Config.commit_protocol -> seed:int ->
+  ?placement:Rt_placement.Placement.t ->
+  case:case ->
+  protocol:Rt_core.Config.commit_protocol ->
+  seed:int ->
+  unit ->
   violation list
-(** Run a single injection case (regression-test entry point). *)
+(** Run a single injection case (regression-test entry point).
+    [placement] must match the one the case was discovered under
+    (absent = full replication). *)
 
 val discover :
-  protocol:Rt_core.Config.commit_protocol -> n:int -> seed:int ->
+  ?placement:Rt_placement.Placement.t ->
+  protocol:Rt_core.Config.commit_protocol ->
+  n:int ->
+  seed:int ->
+  unit ->
   (int * string) list
 (** The discovery pass alone: the ordered (site, point) stream at the
     targeted sites for an uninjected run. *)

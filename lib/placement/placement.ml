@@ -1,0 +1,85 @@
+open Rt_types
+
+type layout = Round_robin | Spread
+
+let layout_name = function
+  | Round_robin -> "round-robin"
+  | Spread -> "spread"
+
+type t = {
+  map : Shard_map.t;
+  sites : int;
+  degree : int;
+  layout : layout;
+  replica_sets : Ids.site_id list array;  (* indexed by shard, sorted *)
+  site_shards : Shard_map.shard_id list array;  (* indexed by site, sorted *)
+}
+
+let replicas_for ~layout ~sites ~degree shard =
+  let base =
+    match layout with
+    | Round_robin -> shard
+    | Spread -> shard * degree
+  in
+  List.init degree (fun i -> (base + i) mod sites)
+  |> List.sort_uniq Int.compare
+
+let create ?(layout = Round_robin) ~map ~sites ~degree () =
+  if sites <= 0 then invalid_arg "Placement.create: sites must be positive";
+  if degree < 1 then
+    invalid_arg "Placement.create: replication degree must be at least 1";
+  if degree > sites then
+    invalid_arg "Placement.create: replication degree exceeds site count";
+  let shards = Shard_map.shards map in
+  let replica_sets =
+    Array.init shards (replicas_for ~layout ~sites ~degree)
+  in
+  let site_shards = Array.make sites [] in
+  Array.iteri
+    (fun shard reps ->
+      List.iter
+        (fun s -> site_shards.(s) <- shard :: site_shards.(s))
+        reps)
+    replica_sets;
+  let site_shards = Array.map (List.sort Int.compare) site_shards in
+  { map; sites; degree; layout; replica_sets; site_shards }
+
+let full ~sites =
+  create ~map:(Shard_map.hash ~shards:1) ~sites ~degree:sites ()
+
+let sites t = t.sites
+let degree t = t.degree
+let shards t = Shard_map.shards t.map
+let shard_map t = t.map
+let layout t = t.layout
+let is_full t = shards t = 1 && t.degree = t.sites
+
+let replicas t ~shard =
+  if shard < 0 || shard >= Array.length t.replica_sets then
+    invalid_arg "Placement.replicas: shard out of range";
+  t.replica_sets.(shard)
+
+let shard_of_key t key = Shard_map.shard_of t.map key
+let replicas_of_key t key = t.replica_sets.(shard_of_key t key)
+
+let replicates t ~site ~shard = List.mem site (replicas t ~shard)
+
+let shards_of_site t site =
+  if site < 0 || site >= t.sites then
+    invalid_arg "Placement.shards_of_site: site out of range";
+  t.site_shards.(site)
+
+let owns_key t ~site key = List.mem site (replicas_of_key t key)
+
+let co_replicas t ~site =
+  List.concat_map (fun shard -> t.replica_sets.(shard))
+    (shards_of_site t site)
+  |> List.filter (fun s -> s <> site)
+  |> List.sort_uniq Int.compare
+
+let describe t =
+  Printf.sprintf "%s x%d over %d sites, degree %d, %s"
+    (Shard_map.strategy_name t.map) (shards t) t.sites t.degree
+    (layout_name t.layout)
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

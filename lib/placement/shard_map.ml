@@ -1,0 +1,56 @@
+type shard_id = int
+
+type strategy =
+  | Hash of int
+  | Range of string list
+
+type t = { shards : int; strategy : strategy }
+
+(* FNV-1a, 64-bit.  Hand-rolled rather than [Hashtbl.hash] so the
+   key→shard mapping is a stable part of the on-disk/experiment contract,
+   not an artifact of the compiler's generic hash. *)
+let fnv1a key =
+  let prime = 0x100000001b3 in
+  (* Offset basis 0xcbf29ce484222325 truncated to OCaml's 63-bit int;
+     multiplication wraps in the native int, which is deterministic on
+     every 64-bit platform. *)
+  let h = ref 0x0bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * prime)
+    key;
+  !h land max_int
+
+let hash ~shards =
+  if shards <= 0 then invalid_arg "Shard_map.hash: shards must be positive";
+  { shards; strategy = Hash shards }
+
+let range ~boundaries =
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+  in
+  if not (sorted boundaries) then
+    invalid_arg "Shard_map.range: boundaries must be strictly increasing";
+  { shards = List.length boundaries + 1; strategy = Range boundaries }
+
+let shards t = t.shards
+
+let shard_of t key =
+  match t.strategy with
+  | Hash n -> if n = 1 then 0 else fnv1a key mod n
+  | Range boundaries ->
+      (* Shard = number of boundaries at or below the key: keys below the
+         first boundary land in shard 0, keys at or above the last in the
+         final shard. *)
+      List.fold_left
+        (fun acc b -> if String.compare key b >= 0 then acc + 1 else acc)
+        0 boundaries
+
+let strategy_name t =
+  match t.strategy with
+  | Hash n -> Printf.sprintf "hash(%d)" n
+  | Range bs -> Printf.sprintf "range(%d)" (List.length bs + 1)
+
+let pp fmt t = Format.pp_print_string fmt (strategy_name t)

@@ -1,0 +1,40 @@
+(** Deterministic key→shard mapping.
+
+    A shard map partitions the logical keyspace into a fixed number of
+    shards.  Two strategies:
+
+    - {b Hash}: shard = FNV-1a(key) mod shards.  Spreads any keyspace
+      evenly; no locality.  The hash is hand-rolled (not [Hashtbl.hash])
+      so the mapping is a stable contract across compiler versions.
+    - {b Range}: an ordered list of boundary keys splits the keyspace
+      into contiguous lexicographic ranges — shard 0 below the first
+      boundary, the last shard at or above the final boundary.  Preserves
+      locality, so experiments can place co-accessed keys together.
+
+    Shard maps are pure and never consult an RNG: the same key always
+    lands in the same shard, which replay determinism requires. *)
+
+type shard_id = int
+
+type strategy =
+  | Hash of int  (** Number of hash shards. *)
+  | Range of string list  (** Strictly increasing boundary keys. *)
+
+type t
+
+val hash : shards:int -> t
+(** [shards] must be positive. *)
+
+val range : boundaries:string list -> t
+(** [range ~boundaries] has [List.length boundaries + 1] shards.  Raises
+    [Invalid_argument] unless boundaries are strictly increasing. *)
+
+val shards : t -> int
+
+val shard_of : t -> string -> shard_id
+(** Total and deterministic: every key maps to exactly one shard in
+    [0, shards). *)
+
+val strategy_name : t -> string
+
+val pp : Format.formatter -> t -> unit

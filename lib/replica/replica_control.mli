@@ -1,10 +1,17 @@
 (** Replica-control protocols as pure planners.
 
-    A replica-control protocol answers three questions for a fully
-    replicated database: which physical copies must a logical read
-    contact, which must a logical write install at, and how are stale
-    copies detected.  The cluster engine does the messaging; these
-    planners make the policy explicit and unit-testable.
+    A replica-control protocol answers three questions for a replicated
+    keyspace slice: which physical copies must a logical read contact,
+    which must a logical write install at, and how are stale copies
+    detected.  The cluster engine does the messaging; these planners make
+    the policy explicit and unit-testable.
+
+    Plans are computed against an explicit [replicas] set — the sites
+    holding copies of the shard being accessed, as assigned by
+    {!Rt_placement.Placement}.  Under full replication the set is every
+    site and the planners reduce to the paper's classical behaviour; a
+    sharded placement passes each shard's replica set instead, so "write
+    all" means all copies {e of that shard}.
 
     Protocols:
     - {b ROWA} (read-one/write-all): reads are local, writes must reach
@@ -47,15 +54,22 @@ val quorum : read_quorum:int -> write_quorum:int -> sites:int -> t
 val primary : Ids.site_id -> t
 
 val read_plan :
-  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) -> sites:int ->
-  Ids.site_id list option
-(** Sites a logical read must contact.  Prefers [self] whenever the
-    protocol allows a local read.  [None]: read unavailable. *)
+  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) ->
+  replicas:Ids.site_id list -> Ids.site_id list option
+(** Sites a logical read must contact, out of the shard's [replicas].
+    Prefers [self] whenever the protocol allows a local read and [self]
+    holds a copy.  [None]: read unavailable.
+
+    Quorum note: when [replicas] is every site of the vote assignment the
+    configured thresholds apply unchanged; a proper subset votes with
+    one-vote majorities over the subset (global weighted thresholds are
+    not meaningful against a fraction of the votes). *)
 
 val write_plan :
-  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) -> sites:int ->
-  Ids.site_id list option
-(** Sites a logical write must install at.  [None]: update unavailable. *)
+  t -> self:Ids.site_id -> up:(Ids.site_id -> bool) ->
+  replicas:Ids.site_id list -> Ids.site_id list option
+(** Sites a logical write must install at ("write all" = all replicas of
+    the shard).  [None]: update unavailable. *)
 
 val read_needs_version_resolution : t -> bool
 (** Quorum reads must compare copy versions and take the newest; the

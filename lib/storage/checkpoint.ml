@@ -1,23 +1,51 @@
+type shard_snapshot = (string * Kv.item) list
+
 type t = {
-  mutable snapshot : ((string * Kv.item) list * Wal.lsn) option;
+  mutable snapshot : ((int * shard_snapshot) list * Wal.lsn) option;
+      (* Per-shard entry lists, sorted by shard id; entries sorted by key. *)
   mutable taken : int;
 }
 
 let create () = { snapshot = None; taken = 0 }
 
-let take t ~kv ~lsn =
-  t.snapshot <- Some (Kv.snapshot kv, lsn);
+let partition_by_shard ~shard_of entries =
+  let by_shard = Hashtbl.create 8 in
+  (* Kv.snapshot is key-sorted; preserve that order within each shard. *)
+  List.iter
+    (fun ((key, _) as e) ->
+      let shard = shard_of key in
+      let prev = Option.value (Hashtbl.find_opt by_shard shard) ~default:[] in
+      Hashtbl.replace by_shard shard (e :: prev))
+    entries;
+  Hashtbl.fold (fun shard es acc -> (shard, List.rev es) :: acc) by_shard []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let take ?(shard_of = fun _ -> 0) t ~kv ~lsn =
+  t.snapshot <- Some (partition_by_shard ~shard_of (Kv.snapshot kv), lsn);
   t.taken <- t.taken + 1
 
-let latest t = t.snapshot
+let merged shards = List.concat_map snd shards
+
+let latest t =
+  Option.map (fun (shards, lsn) -> (merged shards, lsn)) t.snapshot
+
+let shards t =
+  match t.snapshot with
+  | None -> []
+  | Some (shards, _) -> List.map fst shards
+
+let shard_snapshot t ~shard =
+  match t.snapshot with
+  | None -> None
+  | Some (shards, _) -> List.assoc_opt shard shards
 
 let restore_latest t kv =
   match t.snapshot with
   | None ->
       Kv.clear kv;
       0
-  | Some (entries, lsn) ->
-      Kv.restore kv entries;
+  | Some (shards, lsn) ->
+      Kv.restore kv (merged shards);
       lsn
 
 let count t = t.taken

@@ -5,17 +5,31 @@
     (minus any still-active transactions, which the caller must account
     for).  The snapshot is modelled as instantaneously durable; its cost
     shows up in experiments through the log-length/recovery-time trade-off
-    rather than a write stall. *)
+    rather than a write stall.
+
+    Snapshots are kept per shard: the caller supplies the key→shard
+    mapping and each shard's slice is stored (and inspectable)
+    separately, so a partially-replicated site checkpoints exactly the
+    shards it holds.  Under full replication everything is shard 0 and
+    the behaviour is the classical whole-store snapshot. *)
 
 type t
 
 val create : unit -> t
 
-val take : t -> kv:Kv.t -> lsn:Wal.lsn -> unit
-(** Record a snapshot of [kv] as of log position [lsn]. *)
+val take : ?shard_of:(string -> int) -> t -> kv:Kv.t -> lsn:Wal.lsn -> unit
+(** Record a snapshot of [kv] as of log position [lsn], partitioned by
+    [shard_of] (default: a single shard 0). *)
 
 val latest : t -> ((string * Kv.item) list * Wal.lsn) option
-(** Most recent snapshot and its LSN, if any. *)
+(** Most recent snapshot (all shards merged, in shard order) and its LSN,
+    if any. *)
+
+val shards : t -> int list
+(** Shard ids present in the latest snapshot, ascending. *)
+
+val shard_snapshot : t -> shard:int -> (string * Kv.item) list option
+(** The latest snapshot's slice for one shard (key-sorted). *)
 
 val restore_latest : t -> Kv.t -> Wal.lsn
 (** Load the latest snapshot into the store (clearing it first) and return

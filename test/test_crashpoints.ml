@@ -28,7 +28,7 @@ let test_sweep_discovers_wal_points () =
   (* The instrumented WAL must announce both sides of a forced write:
      before the records are durable and after. *)
   let _, protocol = find_protocol "2PC-PrN" in
-  let stream = Sweep.discover ~protocol ~n:3 ~seed:0 in
+  let stream = Sweep.discover ~protocol ~n:3 ~seed:0 () in
   let points = List.map snd stream in
   Alcotest.(check bool) "volatile side seen" true
     (List.mem "wal:force-volatile" points);
