@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json crash clean
+.PHONY: all build test lint bench bench-json crash nemesis clean
 
 all: build
 
@@ -23,6 +23,13 @@ bench-json:
 # Exits non-zero when any invariant violation is found.
 crash:
 	dune exec bin/crashpoints.exe
+
+# Network-fault campaign: scenario x protocol x placement matrix with the
+# shared invariant audit (see docs/NEMESIS.md).  Exit code = number of
+# audit violations; output is byte-identical for a given seed.
+nemesis:
+	dune build bin/nemesis.exe
+	dune exec bin/nemesis.exe -- > NEMESIS.md; s=$$?; cat NEMESIS.md; exit $$s
 
 clean:
 	dune clean

@@ -9,7 +9,6 @@ open Cmdliner
 open Rt_core
 module Mix = Rt_workload.Mix
 module Time = Rt_sim.Time
-module Kv = Rt_storage.Kv
 
 let commit_protocol_of_string = function
   | "2pc-prn" -> Ok (Config.Two_phase Rt_commit.Two_pc.Presumed_nothing)
@@ -26,31 +25,6 @@ let rc_of_string ~sites = function
   | "quorum" | "majority" -> Ok (Rt_replica.Replica_control.majority ~sites)
   | "primary" -> Ok (Rt_replica.Replica_control.primary 0)
   | s -> Error (Printf.sprintf "unknown replica control %S" s)
-
-let forked_keys cluster =
-  let sites = Cluster.sites cluster in
-  let forks = ref [] in
-  Array.iteri
-    (fun i a ->
-      Array.iteri
-        (fun j b ->
-          if i < j then
-            Kv.iter (Site.kv a) (fun key (ia : Kv.item) ->
-                match Kv.get (Site.kv b) key with
-                | Some ib
-                  when ia.version = ib.version && ia.value <> ib.value ->
-                    forks := (key, i, j) :: !forks
-                | _ -> ()))
-        sites)
-    sites;
-  let fork_compare (k1, a1, b1) (k2, a2, b2) =
-    let c = String.compare k1 k2 in
-    if c <> 0 then c
-    else
-      let c = Int.compare a1 a2 in
-      if c <> 0 then c else Int.compare b1 b2
-  in
-  List.sort_uniq fork_compare !forks
 
 let cc_of_string = function
   | "2pl" | "locking" -> Ok Config.Locking
@@ -137,8 +111,11 @@ let run sites protocol rc cc clients duration_ms mttf_ms mttr_ms partition
           (Rt_metrics.Sample.mean lat *. 1e3)
           (Rt_metrics.Sample.percentile lat 50. *. 1e3)
           (Rt_metrics.Sample.percentile lat 99. *. 1e3);
-      Printf.printf "network: %d sent, %d delivered, %d dropped\n" net.sent
-        net.delivered net.dropped;
+      Printf.printf
+        "network: %d sent, %d delivered, %d dropped (%d link, %d partition)\n"
+        net.sent net.delivered
+        (Rt_net.Net.Stats.dropped net)
+        net.dropped_link net.dropped_partition;
       List.iter
         (fun name ->
           let v = Rt_metrics.Counter.get c name in
@@ -149,46 +126,49 @@ let run sites protocol rc cc clients duration_ms mttf_ms mttr_ms partition
           "readonly_releases"; "validation_vetoes"; "order_conflicts";
         ];
 
-      (* ---- audit ---- *)
-      let failures = ref [] in
-      let forks = forked_keys cluster in
-      if forks <> [] then
-        failures :=
-          Printf.sprintf "%d forked keys (split brain!)" (List.length forks)
-          :: !failures;
-      Array.iter
-        (fun s ->
-          if Site.active_participants s > 0 then
-            failures :=
-              Printf.sprintf "site %d has %d unresolved participants"
-                (Site.id s)
-                (Site.active_participants s)
-              :: !failures;
-          if not (Site.serving s) then
-            failures :=
-              Printf.sprintf "site %d not serving after recovery" (Site.id s)
-              :: !failures)
-        (Cluster.sites cluster);
-      (match replica_control with
-      | Rt_replica.Replica_control.Quorum _ -> ()
-      | _ ->
-          if not (Cluster.converged cluster) then
-            if mttf_ms = 0 && not partition then
-              failures := "replicas did not converge" :: !failures
-            else
-              (* Available-copies style protocols assume accurate failure
-                 detection; detector lag acts like a brief partition, so
-                 residual staleness after a failure-heavy run is the
-                 documented behaviour, not a bug (see EXPERIMENTS.md). *)
-              Printf.printf
-                "note: replicas not fully converged (expected for \
-                 ROWA-A-style protocols under failures/partitions)\n");
-      if !failures = [] then begin
+      (* ---- audit (shared battery from Rt_core.Audit) ---- *)
+      let faulty = mttf_ms > 0 || partition in
+      let hard =
+        Audit.fork_freedom cluster
+        @ Audit.agreement cluster
+        @ List.filter
+            (fun { Audit.inv; _ } ->
+              (* Locks/timers can legitimately be outstanding for
+                 transactions still in flight when the drain window
+                 closes; the crash sweep checks those with a controlled
+                 workload.  Here we insist on serving sites and resolved
+                 participants. *)
+              inv = "recovery" || inv = "termination")
+            (Audit.site_hygiene cluster)
+      in
+      let convergence_failures =
+        match replica_control with
+        | Rt_replica.Replica_control.Quorum _ -> []
+        | _ -> Audit.convergence cluster
+      in
+      let hard =
+        if convergence_failures <> [] && not faulty then
+          hard @ [ { Audit.inv = "durability"; detail = "replicas did not converge" } ]
+        else hard
+      in
+      if convergence_failures <> [] && faulty then
+        (* Available-copies style protocols assume accurate failure
+           detection; detector lag acts like a brief partition, so
+           residual staleness after a failure-heavy run is the
+           documented behaviour, not a bug (see EXPERIMENTS.md). *)
+        Printf.printf
+          "note: replicas not fully converged (expected for \
+           ROWA-A-style protocols under failures/partitions)\n";
+      if hard = [] then begin
         Printf.printf "audit: OK\n";
         `Ok ()
       end
       else begin
-        List.iter (fun f -> Printf.printf "audit FAILURE: %s\n" f) !failures;
+        List.iter
+          (fun f ->
+            Printf.printf "audit FAILURE: %s\n"
+              (Format.asprintf "%a" Audit.pp_violation f))
+          hard;
         `Error (false, "invariant violations detected")
       end
 

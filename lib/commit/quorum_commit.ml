@@ -447,7 +447,10 @@ let part_step p input =
   | B_finished d, _, Recv (src, Decision_req) ->
       (p, [ Send (src, Decision_msg d) ])
   | _, _, Recv (src, Decision_req) -> (p, [ Send (src, Decision_unknown) ])
-  | B_finished _, _, Recv (_, Decision_msg _) -> (p, [])
+  | B_finished _, _, Recv (src, Decision_msg _) ->
+      (* Our decision ack was lost and the sender is resending: re-ack
+         so an abort-wait coordinator can retire its resend loop. *)
+      (p, [ Send (src, Decision_ack) ])
   | _, _, Peers_reachable up -> (part_reachable_update p ~up, [])
   | _, _, (Recv _ | Timeout _ | Log_done _ | Start) -> (p, [])
 

@@ -344,9 +344,10 @@ let part_step p input =
           let p, actions = log_outcome p Commit in
           ({ p with p_role = R_leader (L_deciding Commit) }, actions)
       | None, _ -> (p, []))
-  | B_precommitted, _, Recv (_, Precommit_msg) ->
-      (* Duplicate (e.g. new leader re-driving): just re-ack. *)
-      (p, [])
+  | B_precommitted, _, Recv (src, Precommit_msg) ->
+      (* Duplicate (e.g. new leader re-driving, or our ack was lost):
+         re-ack so the sender stops waiting on us. *)
+      (p, [ Send (src, Precommit_ack) ])
   (* Decisions — also accepted while a prepared/precommit log write is
      still in flight (the stale Log_done is ignored afterwards). *)
   | ( (B_uncertain | B_precommitted | B_logging_prepared
@@ -397,7 +398,11 @@ let part_step p input =
   | B_finished d, _, Recv (src, Decision_req) ->
       (p, [ Send (src, Decision_msg d) ])
   | _, _, Recv (src, Decision_req) -> (p, [ Send (src, Decision_unknown) ])
-  | B_finished _, _, Recv (_, Decision_msg _) -> (p, [])
+  | B_finished _, _, Recv (src, Decision_msg _) ->
+      (* Our decision ack was lost and the coordinator is resending:
+         without this re-ack an abort-wait coordinator resends forever
+         and the protocol never quiesces. *)
+      (p, [ Send (src, Decision_ack) ])
   | _, _, Peers_reachable up ->
       let up = Sset.inter (Sset.of_list (p.p_self :: up)) p.p_all in
       ({ p with p_up = up; p_coord_up = Sset.mem p.p_coordinator up

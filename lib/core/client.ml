@@ -43,10 +43,22 @@ let create ~cluster ~site ~mix ?(think = Time.zero) ?(retry_aborts = true)
 let stats t = t.stats
 let stop t = t.running <- false
 
-let backoff t =
-  (* Randomized 0.5–1.5× of a couple round trips. *)
-  let base = Rt_net.Latency.mean (Cluster.config t.cluster).link.latency * 4 in
-  Rng.uniform_time t.rng ~lo:(base / 2) ~hi:(base * 3 / 2)
+(* Capped exponential backoff with jitter: attempt [k] (1-based) waits a
+   uniform draw from [delay/2, delay] where delay = min(cap, base * 2^(k-1)).
+   The jitter comes from the client's own split RNG, so fleets stay
+   deterministic per seed while avoiding retry convoys. *)
+let backoff t ~attempt =
+  let config = Cluster.config t.cluster in
+  let base = config.Config.retry_backoff_base in
+  let cap = config.Config.retry_backoff_cap in
+  let delay =
+    (* Shift-based doubling with an overflow guard: beyond the cap (or 62
+       doublings) the exponential is irrelevant anyway. *)
+    let exp = min (attempt - 1) 62 in
+    if exp >= 62 || base > cap / (1 lsl exp) then cap
+    else base * (1 lsl exp)
+  in
+  Rng.uniform_time t.rng ~lo:(delay / 2) ~hi:delay
 
 (* Shard-aware routing: coordinate at a replica of the first key's
    shard, so single-shard transactions avoid cross-site data rounds.
@@ -66,7 +78,7 @@ let coordinator_for t ops =
         in
         List.nth replicas (t.site mod List.length replicas)
 
-let rec run_txn t ~site ops =
+let rec run_txn t ~site ~attempt ops =
   if t.running then
     Cluster.submit t.cluster ~site ~ops ~k:(fun outcome ->
         let engine = Cluster.engine t.cluster in
@@ -80,8 +92,8 @@ let rec run_txn t ~site ops =
             if t.retry_aborts then begin
               t.stats.retries <- t.stats.retries + 1;
               ignore
-                (Engine.schedule_after engine (backoff t) (fun () ->
-                     run_txn t ~site ops))
+                (Engine.schedule_after engine (backoff t ~attempt) (fun () ->
+                     run_txn t ~site ~attempt:(attempt + 1) ops))
             end
             else
               (* Aborts can complete synchronously (e.g. no quorum under a
@@ -89,7 +101,7 @@ let rec run_txn t ~site ops =
                  attempts or a zero think time spins the clock. *)
               ignore
                 (Engine.schedule_after engine
-                   (Time.max t.think (backoff t))
+                   (Time.max t.think (backoff t ~attempt))
                    (fun () -> next_txn t)))
 
 and next_txn t =
@@ -98,7 +110,7 @@ and next_txn t =
       if t.ordered_keys then Rt_workload.Mix.next_txn t.gen
       else Rt_workload.Mix.next_txn_unordered t.gen
     in
-    run_txn t ~site:(coordinator_for t ops) ops
+    run_txn t ~site:(coordinator_for t ops) ~attempt:1 ops
   end
 
 let start t =

@@ -42,6 +42,7 @@ let site t i =
 
 let sites t = t.sites
 let counters t = t.counters
+let net t = t.net
 let net_stats t = Rt_net.Net.stats t.net
 let submit t ~site:i ~ops ~k = Site.submit (site t i) ~ops ~k
 let run ?until t = Engine.run ?until t.engine

@@ -25,6 +25,11 @@ val sites : t -> Site.t array
 
 val counters : t -> Rt_metrics.Counter.t
 
+val net : t -> Msg.t Rt_net.Net.t
+(** The cluster's network, exposed for fault injection (link overrides,
+    directional severs).  Handlers are owned by the sites — don't
+    re-register them. *)
+
 val net_stats : t -> Rt_net.Net.Stats.t
 
 val submit :

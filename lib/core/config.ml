@@ -27,6 +27,8 @@ type t = {
   lock_wait_timeout : Time.t;
   op_timeout : Time.t;
   commit_timeouts : Rt_commit.Protocol.timeouts;
+  retry_backoff_base : Time.t;
+  retry_backoff_cap : Time.t;
   heartbeat_interval : Time.t;
   heartbeat_miss : int;
   recovery_per_record : Time.t;
@@ -56,6 +58,8 @@ let default ?(sites = 3) () =
         decision_wait = Time.ms 50;
         resend_every = Time.ms 100;
       };
+    retry_backoff_base = Time.us 400;
+    retry_backoff_cap = Time.ms 25;
     heartbeat_interval = Time.ms 10;
     heartbeat_miss = 3;
     recovery_per_record = Time.us 5;
@@ -86,6 +90,12 @@ let validate t =
   non_negative "commit_timeouts.decision_wait" t.commit_timeouts.decision_wait;
   non_negative "commit_timeouts.resend_every" t.commit_timeouts.resend_every;
   non_negative "recovery_per_record" t.recovery_per_record;
+  if Rt_sim.Time.(t.retry_backoff_base <= zero) then
+    invalid_arg "Config: retry_backoff_base must be positive";
+  if Rt_sim.Time.(t.retry_backoff_cap <= zero) then
+    invalid_arg "Config: retry_backoff_cap must be positive";
+  if Rt_sim.Time.(t.retry_backoff_cap < t.retry_backoff_base) then
+    invalid_arg "Config: retry_backoff_cap must be at least retry_backoff_base";
   if Rt_sim.Time.(t.heartbeat_interval <= zero) then
     invalid_arg "Config: heartbeat_interval must be positive";
   if t.heartbeat_miss < 1 then

@@ -37,6 +37,12 @@ type t = {
   op_timeout : Time.t;
       (** Coordinator gives up on a read/write round after this long. *)
   commit_timeouts : Rt_commit.Protocol.timeouts;
+  retry_backoff_base : Time.t;
+      (** First client retry delay after an abort; later attempts double it
+          (capped, jittered).  Must be positive. *)
+  retry_backoff_cap : Time.t;
+      (** Ceiling on the exponential retry delay.  Must be positive and at
+          least [retry_backoff_base]. *)
   heartbeat_interval : Time.t;
   heartbeat_miss : int;
   recovery_per_record : Time.t;  (** Restart replay cost per log record. *)
@@ -71,4 +77,5 @@ val validate : t -> unit
     count, a placement whose site count or replication degree disagrees
     with [sites], a primary site out of range, quorum thresholds that
     violate intersection or don't match the site count, negative
-    latencies/timeouts, or a non-positive heartbeat interval. *)
+    latencies/timeouts, a non-positive heartbeat interval, or retry
+    backoff knobs that are non-positive or cap below base. *)

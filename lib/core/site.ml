@@ -196,6 +196,22 @@ let decided_txns t =
 
 let held_locks t = Lock.locked_keys t.locks
 
+let lock_debug t =
+  List.map
+    (fun (key, holders, waiting) ->
+      let side tag = function
+        | [] -> ""
+        | l ->
+            Format.asprintf " %s=%a" tag
+              (Format.pp_print_list
+                 ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+                 (fun fmt (txn, m) ->
+                   Format.fprintf fmt "%a/%a" Tid.pp txn Lock.pp_mode m))
+              l
+      in
+      Printf.sprintf "%s:%s%s" key (side "held" holders) (side "wait" waiting))
+    (Lock.dump t.locks)
+
 let pending_protocol_timers t =
   (* rt_lint: allow deterministic-iteration -- commutative count *)
   Ids.Txn_map.fold
@@ -674,6 +690,10 @@ let acquire_for_op t ctx ~mode ~key ~(on_granted : unit -> unit)
     ~(reply_refuse : Msg.refusal -> unit) =
   match ctx.pt_doomed with
   | Some r -> reply_refuse r
+  (* A resolved context has already released its locks; a data op landing
+     now is a network duplicate, and granting it would orphan the lock
+     forever (nothing ever resolves this transaction again). *)
+  | None when ctx.pt_resolved -> reply_refuse Msg.R_doomed
   | None -> (
       let wait =
         { w_done = false; w_refuse = reply_refuse; w_timer = None }
@@ -706,6 +726,10 @@ let acquire_for_op t ctx ~mode ~key ~(on_granted : unit -> unit)
 
 let handle_read_req t ~txn ~key ~(reply : (string option * int, Msg.refusal) Result.t -> unit) =
   if t.catching then reply (Error Msg.R_down)
+  else if Ids.Txn_map.mem t.decided txn then
+    (* Duplicate of an op from an already-decided transaction: refuse
+       without resurrecting a participant context for it. *)
+    reply (Error Msg.R_doomed)
   else begin
     let ctx = get_or_create_part t txn in
     match t.config.concurrency with
@@ -746,6 +770,8 @@ let handle_write_req t ~txn ~key ~(reply : (int, Msg.refusal) Result.t -> unit)
   (* Writes are accepted even while catching up: a validating copy must
      not miss commits that land during its transfer (reads stay refused
      until validation completes). *)
+  if Ids.Txn_map.mem t.decided txn then reply (Error Msg.R_doomed)
+  else
   let ctx = get_or_create_part t txn in
   match t.config.concurrency with
   | Config.Timestamp ->
@@ -782,6 +808,13 @@ let handle_abort_txn t txn =
       gc_part t ctx
 
 let handle_vote_req t ~src txn (prepare : Msg.prepare_info option) =
+  if Ids.Txn_map.mem t.decided txn then
+    (* Coordinators never re-solicit votes, so a vote request for a
+       transaction we already decided is a network duplicate that
+       outlived the participant context.  Re-running the protocol from a
+       fresh machine would re-vote on a settled transaction; drop it. *)
+    ()
+  else
   let ctx = get_or_create_part t txn in
   if ctx.pt_machine <> None then
     (* Duplicate vote request: let the machine handle it. *)

@@ -151,6 +151,9 @@ val decided_txns : t -> (Ids.Txn_id.t * Rt_commit.Protocol.decision) list
 val held_locks : t -> int
 (** Keys with at least one lock holder or waiter (orphaned-lock audit). *)
 
+val lock_debug : t -> string list
+(** One line per locked key with its holders and waiters (diagnostics). *)
+
 val pending_protocol_timers : t -> int
 (** Commit-protocol timers currently scheduled across all live coordinator
     and participant contexts (undrained-timer audit). *)

@@ -1,9 +1,6 @@
 open Rt_sim
 open Rt_core
 module Two_pc = Rt_commit.Two_pc
-module Kv = Rt_storage.Kv
-module P = Rt_commit.Protocol
-module Tid = Rt_types.Ids.Txn_id
 
 type case = {
   cs_protocol : string;
@@ -116,113 +113,35 @@ let discover ?placement ~protocol ~n ~seed () =
   Cluster.run ~until:horizon cluster;
   List.filter (fun (s, _) -> List.mem_assoc s roles) (points ())
 
+(* The invariant battery itself lives in Rt_core.Audit (shared with soak
+   and the nemesis campaigns); here we only add the sweep-specific checks
+   (crash point reached, client outcome fired) and tag each violation
+   with the case.  Audit.standard runs quiescence first — it drives the
+   cluster one second past the horizon, so every later check sees the
+   fully drained state. *)
 let audit ~case ~cluster ~outcome ~reached =
-  let violations = ref [] in
+  let pre = ref [] in
   let add v_invariant v_detail =
-    violations := { v_case = case; v_invariant; v_detail } :: !violations
+    pre := { v_case = case; v_invariant; v_detail } :: !pre
   in
   if not reached then
     add "determinism" "target crash point not reached in injection run";
-  (* Quiescence: past the horizon the commit protocol must be silent.  A
-     machine that keeps resending (e.g. collecting an ack that will never
-     come) shows up as protocol traffic even after its context has been
-     garbage-collected out of the per-site timer audit below. *)
-  let msgs_at name = Rt_metrics.Counter.get (Cluster.counters cluster) name in
-  let before = msgs_at "commit_protocol_msgs" in
-  Cluster.run ~until:(Time.add horizon (Time.sec 1)) cluster;
-  let after = msgs_at "commit_protocol_msgs" in
-  if after > before then
-    add "termination"
-      (Printf.sprintf "commit protocol not quiescent: %d messages after horizon"
-         (after - before));
+  let writes =
+    List.filter_map
+      (function
+        | Rt_workload.Mix.Write (k, v) -> Some (k, v)
+        | Rt_workload.Mix.Read _ -> None)
+      workload
+  in
+  let vs = Audit.standard ~writes ~settle:(Time.sec 1) cluster in
   (match !outcome with
   | None -> add "termination" "client outcome never fired"
   | Some _ -> ());
-  let sites = Cluster.sites cluster in
-  Array.iter
-    (fun s ->
-      let id = Site.id s in
-      if not (Site.serving s) then
-        add "recovery" (Printf.sprintf "site %d not serving at horizon" id);
-      let ap = Site.active_participants s in
-      if ap > 0 then
-        add "termination"
-          (Printf.sprintf "site %d: %d unresolved participants" id ap);
-      let bp = Site.blocked_participants s in
-      if bp > 0 then
-        add "termination"
-          (Printf.sprintf "site %d: %d blocked participants" id bp);
-      let hl = Site.held_locks s in
-      if hl > 0 then
-        add "locks" (Printf.sprintf "site %d: %d keys still locked" id hl);
-      let pt = Site.pending_protocol_timers s in
-      if pt > 0 then
-        add "timers"
-          (Printf.sprintf "site %d: %d protocol timers still pending" id pt))
-    sites;
-  (* Agreement: no two sites genuinely decide differently. *)
-  let by_txn = Hashtbl.create 8 in
-  Array.iter
-    (fun s ->
-      List.iter
-        (fun (txn, d) ->
-          let prev =
-            Option.value (Hashtbl.find_opt by_txn txn) ~default:[]
-          in
-          Hashtbl.replace by_txn txn ((Site.id s, d) :: prev))
-        (Site.decided_txns s))
-    sites;
-  let txns =
-    Hashtbl.fold (fun txn ds acc -> (txn, ds) :: acc) by_txn []
-    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
-  in
-  let committed = ref false in
-  List.iter
-    (fun (txn, ds) ->
-      let commits =
-        List.filter (fun (_, d) -> P.decision_equal d P.Commit) ds
-      in
-      let aborts =
-        List.filter (fun (_, d) -> P.decision_equal d P.Abort) ds
-      in
-      if commits <> [] then committed := true;
-      if commits <> [] && aborts <> [] then
-        add "agreement"
-          (Format.asprintf "txn %a: commit at %s, abort at %s" Tid.pp txn
-             (String.concat ","
-                (List.map (fun (s, _) -> string_of_int s) commits))
-             (String.concat ","
-                (List.map (fun (s, _) -> string_of_int s) aborts))))
-    txns;
-  (* Durability: a committed transaction's writes survive on every copy
-     of the written key's shard (ROWA writes all replicas; under full
-     replication that is every site), and the replicas agree byte for
-     byte per shard. *)
-  let placement = Cluster.placement cluster in
-  if !committed then
-    List.iter
-      (fun op ->
-        match op with
-        | Rt_workload.Mix.Write (key, value) ->
-            List.iter
-              (fun id ->
-                let s = Cluster.site cluster id in
-                let have =
-                  Option.map (fun (i : Kv.item) -> i.value)
-                    (Kv.get (Site.kv s) key)
-                in
-                if have <> Some value then
-                  add "durability"
-                    (Printf.sprintf
-                       "site %d: committed write %s=%s missing (found %s)"
-                       (Site.id s) key value
-                       (Option.value have ~default:"nothing")))
-              (Rt_placement.Placement.replicas_of_key placement key)
-        | Rt_workload.Mix.Read _ -> ())
-      workload;
-  if not (Cluster.converged cluster) then
-    add "durability" "stores diverge at horizon";
-  List.rev !violations
+  List.rev !pre
+  @ List.map
+      (fun { Audit.inv; detail } ->
+        { v_case = case; v_invariant = inv; v_detail = detail })
+      vs
 
 let run_case ?placement ~case ~protocol ~seed () =
   let cluster = make_cluster ?placement ~protocol ~n:case.cs_n ~seed () in

@@ -47,31 +47,60 @@ let index_add map txn key =
   | Some r -> r := key :: !r
   | None -> Ids.Txn_map.replace map txn (ref [ key ])
 
+(* Remove ONE occurrence only: a transaction can have several requests
+   queued on the same key (duplicate network deliveries), and each keeps
+   its own index entry.  Filtering every occurrence here would blind
+   [release_all] to the survivors, which can then be spuriously granted
+   to an already-dead transaction during its own release — a permanent
+   lock leak. *)
 let index_remove map txn key =
   match Ids.Txn_map.find_opt map txn with
   | Some r ->
-      r := List.filter (fun k -> k <> key) !r;
+      let rec drop_one = function
+        | [] -> []
+        | k :: rest -> if k = key then rest else k :: drop_one rest
+      in
+      r := drop_one !r;
       if !r = [] then Ids.Txn_map.remove map txn
   | None -> ()
 
-let compatible mode holders =
+(* A holder entry of the requester itself never conflicts: duplicate
+   deliveries of the same operation must not queue behind (and time out
+   on) their own first copy. *)
+let compatible ~txn mode holders =
   match mode with
-  | Shared -> List.for_all (fun (_, m) -> m = Shared) holders
-  | Exclusive -> holders = []
+  | Shared ->
+      List.for_all (fun (h, m) -> Tid.equal h txn || m = Shared) holders
+  | Exclusive -> List.for_all (fun (h, _) -> Tid.equal h txn) holders
 
 (* Can [r] be granted right now given [e]'s holders?  An upgrade is
    grantable when the requester is the only holder. *)
 let grantable e r =
   if r.upgrade then
     match e.holders with [ (h, Shared) ] -> Tid.equal h r.txn | _ -> false
-  else compatible r.mode e.holders
+  else compatible ~txn:r.txn r.mode e.holders
 
 let do_grant t key e r =
   if r.upgrade then e.holders <- [ (r.txn, Exclusive) ]
-  else begin
-    e.holders <- (r.txn, r.mode) :: e.holders;
-    index_add t.held r.txn key
-  end
+  else
+    let mine, others =
+      List.partition (fun (h, _) -> Tid.equal h r.txn) e.holders
+    in
+    match mine with
+    | [] ->
+        e.holders <- (r.txn, r.mode) :: others;
+        index_add t.held r.txn key
+    | _ ->
+        (* Already a holder (duplicate delivery, or an S and an X request
+           that were queued together): keep a single entry at the
+           strongest mode and leave the held index alone — a second
+           entry per (txn, key) would desync it. *)
+        let strongest =
+          if r.mode = Exclusive || List.exists (fun (_, m) -> m = Exclusive) mine
+          then Exclusive
+          else Shared
+        in
+        e.holders <- (r.txn, strongest) :: others
 
 (* After holders change, grant a maximal compatible prefix of the queue.
    Returns the granted requests in order; callbacks are the caller's to
@@ -266,3 +295,9 @@ let detect_deadlock ?policy t =
   | Some cycle -> Some (Wfg.victim ?policy cycle)
 
 let locked_keys t = Hashtbl.length t.table
+
+let dump t =
+  Hashtbl.fold
+    (fun key e acc -> (key, List.rev e.holders, List.map (fun r -> (r.txn, r.mode)) e.waiting) :: acc)
+    t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

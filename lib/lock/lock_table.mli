@@ -70,3 +70,9 @@ val detect_deadlock :
 
 val locked_keys : t -> int
 (** Number of keys with at least one holder or waiter (table size). *)
+
+val dump :
+  t ->
+  (string * (Ids.Txn_id.t * mode) list * (Ids.Txn_id.t * mode) list) list
+(** Every live entry as [(key, holders, waiting)], sorted by key
+    (diagnostics: names the transactions behind {!locked_keys}). *)

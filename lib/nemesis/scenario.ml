@@ -1,0 +1,154 @@
+(* Composable network-fault scenarios.
+
+   A scenario is a recipe: given the cluster size and the fault window it
+   emits a deterministic, time-sorted list of fault steps.  Scenarios are
+   pure data — the campaign runner interprets the steps against a live
+   cluster — so they compose by merging step lists. *)
+
+open Rt_sim
+
+type edge = int * int
+
+type fault =
+  | Lossy of { pairs : edge list option; drop : float; duplicate : float }
+      (* Overlay drop/duplication probabilities on the named directed
+         pairs ([None] = every ordered pair), keeping current latency. *)
+  | Gray of { pairs : edge list option; factor : int }
+      (* Inflate current latency by [factor] on the named pairs. *)
+  | Partition of int list list
+  | Sever of edge list  (* directed: (src, dst) stops delivering *)
+  | Restore of edge list
+  | Heal_partition  (* components and severed edges; link overlays stay *)
+  | Reset_links  (* drop every link overlay, back to the config default *)
+  | Crash of int
+  | Recover of int
+
+type step = Time.t * fault
+
+type t = {
+  name : string;
+  build : sites:int -> duration:Time.t -> step list;
+}
+
+let make name build = { name; build }
+let name t = t.name
+
+let steps t ~sites ~duration =
+  t.build ~sites ~duration
+  |> List.filter (fun (at, _) -> Time.(at >= zero) && Time.(at < duration))
+  |> List.stable_sort (fun (a, _) (b, _) -> Time.compare a b)
+
+(* -- building blocks ------------------------------------------------- *)
+
+let halves sites =
+  let mid = sites / 2 in
+  (List.init mid Fun.id, List.init (sites - mid) (fun i -> mid + i))
+
+(* Every directed edge from a group to the rest of the cluster. *)
+let edges_out ~sites group =
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if List.mem dst group then None else Some (src, dst))
+        (List.init sites Fun.id))
+    group
+
+(* A square wave: emit [on] at k*period and [offs] half a period later,
+   for as many whole periods as fit the window.  The last cycle's [offs]
+   steps always land inside the window so faults never outlive it. *)
+let square ~period ~duration on offs =
+  if Time.(period <= zero) then invalid_arg "Scenario: period must be positive";
+  let cycles = duration / period in
+  List.concat
+    (List.init cycles (fun k ->
+         let base = k * period in
+         List.map (fun f -> (base, f)) on
+         @ List.map (fun f -> (Time.add base (period / 2), f)) offs))
+
+(* -- scenarios ------------------------------------------------------- *)
+
+let calm = make "calm" (fun ~sites:_ ~duration:_ -> [])
+
+let lossy ?(drop = 0.05) ?(duplicate = 0.05) () =
+  make
+    (Printf.sprintf "lossy(drop=%.2f,dup=%.2f)" drop duplicate)
+    (fun ~sites:_ ~duration:_ ->
+      [ (Time.zero, Lossy { pairs = None; drop; duplicate }) ])
+
+let gray ?(factor = 8) () =
+  make
+    (Printf.sprintf "gray(x%d)" factor)
+    (fun ~sites ~duration:_ ->
+      (* Site 0 is slow to everyone, both directions: the gray-failure
+         pattern where one box limps instead of dying. *)
+      let pairs =
+        List.concat_map
+          (fun i -> if i = 0 then [] else [ (0, i); (i, 0) ])
+          (List.init sites Fun.id)
+      in
+      [ (Time.zero, Gray { pairs = Some pairs; factor }) ])
+
+let flapping ?(period = Time.ms 100) () =
+  make
+    (Printf.sprintf "flapping(%dms)" (period / Time.ms 1))
+    (fun ~sites ~duration ->
+      let left, right = halves sites in
+      square ~period ~duration
+        [ Partition [ left; right ] ]
+        [ Heal_partition ])
+
+let one_way ?(period = Time.ms 100) () =
+  make
+    (Printf.sprintf "one-way(%dms)" (period / Time.ms 1))
+    (fun ~sites ~duration ->
+      (* Asymmetric: the left half can hear the right but not the
+         reverse — requests arrive, replies vanish. *)
+      let left, _ = halves sites in
+      let out = edges_out ~sites left in
+      square ~period ~duration [ Sever out ] [ Restore out ])
+
+let churn ?(every = Time.ms 120) ?(down_for = Time.ms 60) () =
+  make
+    (Printf.sprintf "churn(%dms/%dms)" (every / Time.ms 1)
+       (down_for / Time.ms 1))
+    (fun ~sites ~duration ->
+      (* Round-robin crash/recover, one site down at a time, never the
+         whole cluster. *)
+      let rounds = duration / every in
+      List.concat
+        (List.init rounds (fun k ->
+             let site = k mod sites in
+             let at = k * every in
+             [ (at, Crash site); (Time.add at down_for, Recover site) ])))
+
+let coordinator_faults ?(every = Time.ms 150) ?(down_for = Time.ms 50) () =
+  make
+    (Printf.sprintf "coordinator(%dms/%dms)" (every / Time.ms 1)
+       (down_for / Time.ms 1))
+    (fun ~sites ~duration ->
+      (* Target site 0 — every fleet parks a client there, so these are
+         coordinator-side faults: alternately crash it and cut its
+         outbound links (votes reach it, its decisions vanish). *)
+      let out = edges_out ~sites [ 0 ] in
+      let rounds = duration / every in
+      List.concat
+        (List.init rounds (fun k ->
+             let at = k * every in
+             if k mod 2 = 0 then
+               [ (at, Crash 0); (Time.add at down_for, Recover 0) ]
+             else
+               [ (at, Sever out); (Time.add at down_for, Restore out) ])))
+
+(* Whether a step list severs reachability (as opposed to degrading
+   links).  Protocols that are only safe under crash-stop failures — 3PC
+   termination trusts its failure detector — are allowed documented
+   divergence in such scenarios (see docs/PROTOCOLS.md). *)
+let cuts_reachability steps =
+  List.exists
+    (function _, (Partition _ | Sever _) -> true | _ -> false)
+    steps
+
+let compose name ts =
+  make name (fun ~sites ~duration ->
+      List.concat_map (fun t -> t.build ~sites ~duration) ts)

@@ -1,0 +1,73 @@
+(** Composable network-fault scenarios.
+
+    A scenario is pure data: given the cluster size and the fault window
+    it produces a deterministic, time-sorted step list.  The campaign
+    runner ({!Campaign}) interprets the steps against a live cluster.
+    All steps are clipped to [0, duration), so faults never outlive the
+    window — the runner heals, recovers, and drains afterwards. *)
+
+open Rt_sim
+
+type edge = int * int
+(** A directed site pair (src, dst). *)
+
+type fault =
+  | Lossy of { pairs : edge list option; drop : float; duplicate : float }
+      (** Overlay drop/duplication on the pairs ([None] = every ordered
+          pair), preserving each link's current latency. *)
+  | Gray of { pairs : edge list option; factor : int }
+      (** Multiply current latency by [factor] — a slow-but-live link. *)
+  | Partition of int list list  (** Symmetric component split. *)
+  | Sever of edge list  (** One-way cuts: (src, dst) stops delivering. *)
+  | Restore of edge list  (** Undo matching {!Sever} edges. *)
+  | Heal_partition
+      (** Heal components and severed edges; link overlays remain. *)
+  | Reset_links  (** Remove every link overlay. *)
+  | Crash of int
+  | Recover of int
+
+type step = Time.t * fault
+
+type t
+
+val make : string -> (sites:int -> duration:Time.t -> step list) -> t
+
+val name : t -> string
+
+val steps : t -> sites:int -> duration:Time.t -> step list
+(** Build, clip to [0, duration), and time-sort the scenario's steps. *)
+
+(** {2 Stock scenarios} *)
+
+val calm : t
+(** No faults — the control row of a campaign. *)
+
+val lossy : ?drop:float -> ?duplicate:float -> unit -> t
+(** Every link drops and duplicates with the given probabilities for the
+    whole window (defaults 0.05 each). *)
+
+val gray : ?factor:int -> unit -> t
+(** Site 0's links (both directions) run [factor]× slower (default 8). *)
+
+val flapping : ?period:Time.t -> unit -> t
+(** The cluster splits into halves at every period boundary and heals
+    half a period later (default period 100 ms). *)
+
+val one_way : ?period:Time.t -> unit -> t
+(** Asymmetric partition: the left half's outbound edges are severed
+    (requests arrive, replies vanish) on the same square wave. *)
+
+val churn : ?every:Time.t -> ?down_for:Time.t -> unit -> t
+(** Round-robin crash/recover, one site down at a time. *)
+
+val coordinator_faults : ?every:Time.t -> ?down_for:Time.t -> unit -> t
+(** Alternate crashing site 0 and severing its outbound links — votes
+    reach the coordinator, its decisions vanish. *)
+
+val compose : string -> t list -> t
+(** Merge several scenarios' steps into one (sorted at build time). *)
+
+val cuts_reachability : step list -> bool
+(** Whether the steps sever reachability ({!Partition} or {!Sever}), as
+    opposed to merely degrading links.  Crash-stop-only protocols (3PC)
+    are allowed documented divergence under such scenarios. *)

@@ -19,6 +19,14 @@ let mean = function
   | Uniform (lo, hi) -> (lo + hi) / 2
   | Exponential { mean; _ } -> mean
 
+let scale t ~factor =
+  if factor < 1 then invalid_arg "Latency.scale: factor must be >= 1";
+  match t with
+  | Fixed d -> Fixed (d * factor)
+  | Uniform (lo, hi) -> Uniform (lo * factor, hi * factor)
+  | Exponential { min; mean } ->
+      Exponential { min = min * factor; mean = mean * factor }
+
 let pp fmt = function
   | Fixed d -> Format.fprintf fmt "fixed(%a)" Time.pp d
   | Uniform (lo, hi) -> Format.fprintf fmt "uniform(%a,%a)" Time.pp lo Time.pp hi

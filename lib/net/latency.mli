@@ -14,4 +14,9 @@ val sample : t -> Rng.t -> Time.t
 val mean : t -> Time.t
 (** Expected value of the distribution, for analytic checks. *)
 
+val scale : t -> factor:int -> t
+(** Inflate every parameter of the distribution by an integer factor —
+    the model of a gray (slow but live) link.  Raises [Invalid_argument]
+    when [factor < 1]. *)
+
 val pp : Format.formatter -> t -> unit

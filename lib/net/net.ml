@@ -9,11 +9,21 @@ module Stats = struct
   type t = {
     mutable sent : int;
     mutable delivered : int;
-    mutable dropped : int;
+    mutable dropped_link : int;
+    mutable dropped_partition : int;
     mutable duplicated : int;
   }
 
-  let create () = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 }
+  let create () =
+    {
+      sent = 0;
+      delivered = 0;
+      dropped_link = 0;
+      dropped_partition = 0;
+      duplicated = 0;
+    }
+
+  let dropped t = t.dropped_link + t.dropped_partition
 end
 
 type 'msg t = {
@@ -49,6 +59,7 @@ let create ?(fifo = true) ?seed_rng engine ~nodes ~default =
 let nodes t = Array.length t.handlers
 let engine t = t.engine
 let partition t = t.part
+let default_link t = t.default
 
 let check_node t n =
   if n < 0 || n >= Array.length t.handlers then
@@ -59,10 +70,22 @@ let set_link t ~src ~dst link =
   check_node t dst;
   Hashtbl.replace t.overrides (src, dst) link
 
+let clear_link t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Hashtbl.remove t.overrides (src, dst)
+
+let clear_links t = Hashtbl.reset t.overrides
+
 let link_for t ~src ~dst =
   match Hashtbl.find_opt t.overrides (src, dst) with
   | Some l -> l
   | None -> t.default
+
+let link t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  link_for t ~src ~dst
 
 let register t n handler =
   check_node t n;
@@ -73,13 +96,16 @@ let unregister t n =
   t.handlers.(n) <- None
 
 let deliver t ~src ~dst msg () =
-  if Partition.connected t.part src dst then
+  if Partition.reachable t.part ~src ~dst then
     match t.handlers.(dst) with
     | Some handler ->
         t.stats.delivered <- t.stats.delivered + 1;
         handler ~src msg
-    | None -> t.stats.dropped <- t.stats.dropped + 1
-  else t.stats.dropped <- t.stats.dropped + 1
+    | None ->
+        (* No handler: the endpoint is effectively unreachable, not a
+           link fault. *)
+        t.stats.dropped_partition <- t.stats.dropped_partition + 1
+  else t.stats.dropped_partition <- t.stats.dropped_partition + 1
 
 let schedule_delivery t ~src ~dst msg =
   let link = link_for t ~src ~dst in
@@ -104,12 +130,12 @@ let send t ~src ~dst msg =
   check_node t src;
   check_node t dst;
   t.stats.sent <- t.stats.sent + 1;
-  if not (Partition.connected t.part src dst) then
-    t.stats.dropped <- t.stats.dropped + 1
+  if not (Partition.reachable t.part ~src ~dst) then
+    t.stats.dropped_partition <- t.stats.dropped_partition + 1
   else begin
     let link = link_for t ~src ~dst in
     if link.drop > 0. && Rng.bernoulli t.rng ~p:link.drop then
-      t.stats.dropped <- t.stats.dropped + 1
+      t.stats.dropped_link <- t.stats.dropped_link + 1
     else begin
       schedule_delivery t ~src ~dst msg;
       if link.duplicate > 0. && Rng.bernoulli t.rng ~p:link.duplicate then begin
@@ -129,5 +155,6 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.sent <- 0;
   t.stats.delivered <- 0;
-  t.stats.dropped <- 0;
+  t.stats.dropped_link <- 0;
+  t.stats.dropped_partition <- 0;
   t.stats.duplicated <- 0

@@ -4,8 +4,12 @@
     the destination's registered handler after a sampled latency, unless the
     link drops it or a partition separates the endpoints (checked both at
     send and at delivery time, so in-flight messages are lost when a
-    partition forms).  Links may optionally be FIFO, in which case delivery
-    order matches send order per (src, dst) pair. *)
+    partition forms).  Reachability is directional (see
+    {!Partition.sever}), so one-way partitions lose exactly one
+    direction's traffic.  Links may optionally be FIFO, in which case
+    delivery order matches send order per (src, dst) pair — duplicated
+    messages are delivered after their original without reordering later
+    sends ahead of them. *)
 
 open Rt_sim
 
@@ -34,10 +38,24 @@ val nodes : 'msg t -> int
 val engine : 'msg t -> Engine.t
 
 val partition : 'msg t -> Partition.t
-(** The network's partition state; mutate it to inject partitions. *)
+(** The network's partition state; mutate it to inject (possibly one-way)
+    partitions. *)
+
+val default_link : 'msg t -> link
+(** The link every pair uses unless overridden with {!set_link}. *)
+
+val link : 'msg t -> src:node_id -> dst:node_id -> link
+(** The effective link for a pair: the override if set, else the default.
+    Lets fault injectors transform the current link in place. *)
 
 val set_link : 'msg t -> src:node_id -> dst:node_id -> link -> unit
 (** Override the link used for messages from [src] to [dst]. *)
+
+val clear_link : 'msg t -> src:node_id -> dst:node_id -> unit
+(** Remove one pair's override so it reverts to the default link. *)
+
+val clear_links : 'msg t -> unit
+(** Remove every link override (fault-injection cleanup). *)
 
 val register : 'msg t -> node_id -> (src:node_id -> 'msg -> unit) -> unit
 (** Install the delivery handler for a node, replacing any previous one. *)
@@ -56,9 +74,14 @@ module Stats : sig
   type t = {
     mutable sent : int;
     mutable delivered : int;
-    mutable dropped : int;  (** Lost to link faults or partitions. *)
+    mutable dropped_link : int;  (** Lost to link drop faults. *)
+    mutable dropped_partition : int;
+        (** Lost to partitions / severed edges / missing handlers. *)
     mutable duplicated : int;
   }
+
+  val dropped : t -> int
+  (** Total losses: [dropped_link + dropped_partition]. *)
 end
 
 val stats : 'msg t -> Stats.t

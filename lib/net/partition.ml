@@ -1,9 +1,22 @@
 type node_id = int
-type t = { component : int array; mutable next_component : int }
+
+type t = {
+  component : int array;
+  mutable next_component : int;
+  (* Directed severed edges (src, dst): src's messages to dst are lost
+     even inside a component.  Symmetric partitions stay in the component
+     array; this table only carries the asymmetric residue, so the common
+     fully-connected case costs one empty-table lookup. *)
+  severed : (node_id * node_id, unit) Hashtbl.t;
+}
 
 let create ~nodes =
   if nodes <= 0 then invalid_arg "Partition.create: nodes must be positive";
-  { component = Array.make nodes 0; next_component = 1 }
+  {
+    component = Array.make nodes 0;
+    next_component = 1;
+    severed = Hashtbl.create 8;
+  }
 
 let nodes t = Array.length t.component
 
@@ -32,12 +45,27 @@ let isolate t n =
   t.component.(n) <- t.next_component;
   t.next_component <- t.next_component + 1
 
-let heal t = Array.fill t.component 0 (Array.length t.component) 0
+let sever t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  if src <> dst then Hashtbl.replace t.severed (src, dst) ()
 
-let connected t a b =
-  check_node t a;
-  check_node t b;
-  t.component.(a) = t.component.(b)
+let restore t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Hashtbl.remove t.severed (src, dst)
+
+let heal t =
+  Array.fill t.component 0 (Array.length t.component) 0;
+  Hashtbl.reset t.severed
+
+let reachable t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  t.component.(src) = t.component.(dst)
+  && not (Hashtbl.mem t.severed (src, dst))
+
+let connected t a b = reachable t ~src:a ~dst:b && reachable t ~src:b ~dst:a
 
 let component_of t n =
   check_node t n;
@@ -46,3 +74,4 @@ let component_of t n =
 let is_split t =
   let c0 = t.component.(0) in
   Array.exists (fun c -> c <> c0) t.component
+  || Hashtbl.length t.severed > 0

@@ -436,6 +436,43 @@ let test_3pc_participant_precommit_phase () =
   Alcotest.(check bool) "precommitted" true
     (Three_pc.part_state p = P_precommitted)
 
+(* Regression (found by the nemesis lossy campaign): a pre-committed
+   participant whose Precommit_ack was lost must re-ack a duplicate
+   Precommit_msg, or the sender waits a full timeout for nothing. *)
+let test_3pc_precommitted_reacks_duplicate_precommit () =
+  let p =
+    Three_pc.participant ~self:1 ~coordinator:0 ~all:[ 0; 1; 2 ] ~vote:true
+      ~timeouts
+  in
+  let p, _ = Three_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Three_pc.part_step p (Log_done L_prepared) in
+  let p, _ = Three_pc.part_step p (Recv (0, Precommit_msg)) in
+  let p, _ = Three_pc.part_step p (Log_done L_precommit) in
+  let _, actions = Three_pc.part_step p (Recv (0, Precommit_msg)) in
+  Alcotest.(check (list action)) "duplicate precommit re-acked"
+    [ Send (0, Precommit_ack) ]
+    actions
+
+(* Regression (nemesis lossy campaign): a finished participant whose
+   Decision_ack was lost must re-ack the coordinator's resent decision —
+   otherwise an abort-wait coordinator resends forever and the protocol
+   never quiesces. *)
+let test_3pc_finished_reacks_resent_decision () =
+  let p =
+    Three_pc.participant ~self:1 ~coordinator:0 ~all:[ 0; 1; 2 ] ~vote:true
+      ~timeouts
+  in
+  let p, _ = Three_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Three_pc.part_step p (Log_done L_prepared) in
+  let p, _ = Three_pc.part_step p (Recv (0, Decision_msg Abort)) in
+  let p, actions = Three_pc.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check bool) "first ack sent" true
+    (List.mem (Send (0, Decision_ack)) actions);
+  let _, actions = Three_pc.part_step p (Recv (0, Decision_msg Abort)) in
+  Alcotest.(check (list action)) "resent decision re-acked"
+    [ Send (0, Decision_ack) ]
+    actions
+
 (* --- quorum commit epochs -------------------------------------------------- *)
 
 let test_qc_participant_rejects_stale_epochs () =
@@ -460,6 +497,26 @@ let test_qc_participant_rejects_stale_epochs () =
   (* A stale epoch-0 pre-abort attempt is ignored entirely. *)
   let _, actions = Quorum_commit.part_step p (Recv (0, Pq_preabort (0, 0))) in
   Alcotest.(check (list action)) "stale epoch ignored" [] actions
+
+(* Same resend-storm regression as 3PC, quorum-commit flavour. *)
+let test_qc_finished_reacks_resent_decision () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  let p =
+    Quorum_commit.participant ~config ~self:1 ~coordinator:0 ~vote:true
+      ~timeouts
+  in
+  let p, _ = Quorum_commit.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Quorum_commit.part_step p (Log_done L_prepared) in
+  let p, _ = Quorum_commit.part_step p (Recv (0, Decision_msg Abort)) in
+  let p, actions = Quorum_commit.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check bool) "first ack sent" true
+    (List.mem (Send (0, Decision_ack)) actions);
+  (* The resend may come from the coordinator or an elected leader; the
+     re-ack goes back to whoever asked. *)
+  let _, actions = Quorum_commit.part_step p (Recv (2, Decision_msg Abort)) in
+  Alcotest.(check (list action)) "resent decision re-acked"
+    [ Send (2, Decision_ack) ]
+    actions
 
 let test_qc_coordinator_commits_at_quorum () =
   let config =
@@ -542,6 +599,10 @@ let () =
           Alcotest.test_case "full walk" `Quick test_3pc_walk;
           Alcotest.test_case "participant precommit phase" `Quick
             test_3pc_participant_precommit_phase;
+          Alcotest.test_case "duplicate precommit re-acked" `Quick
+            test_3pc_precommitted_reacks_duplicate_precommit;
+          Alcotest.test_case "finished re-acks resent decision" `Quick
+            test_3pc_finished_reacks_resent_decision;
         ] );
       ( "quorum-commit",
         [
@@ -549,5 +610,7 @@ let () =
             test_qc_participant_rejects_stale_epochs;
           Alcotest.test_case "commits at quorum" `Quick
             test_qc_coordinator_commits_at_quorum;
+          Alcotest.test_case "finished re-acks resent decision" `Quick
+            test_qc_finished_reacks_resent_decision;
         ] );
     ]

@@ -158,6 +158,47 @@ let test_cancel_waiter_unblocks_queue () =
   Alcotest.(check (list string)) "c granted when blocker cancelled" [ "c" ]
     !granted
 
+(* Regression (found by the nemesis lossy campaign): the same operation
+   delivered twice queues two requests for one txn.  Granting the first
+   used to wipe every waits-index entry for the key, so the second
+   request survived release_all invisibly and was re-granted to the
+   already-dead transaction during its own release — a permanent leak. *)
+let test_duplicate_queued_request_no_leak () =
+  reset ();
+  let t = Lock_table.create () in
+  let a = txn 1 and b = txn 2 in
+  ignore (Lock_table.acquire t ~txn:a ~key:"k" ~mode:Exclusive ~on_grant:(fun () -> ()));
+  ignore
+    (Lock_table.acquire t ~txn:b ~key:"k" ~mode:Exclusive ~on_grant:(on_grant "b1"));
+  ignore
+    (Lock_table.acquire t ~txn:b ~key:"k" ~mode:Exclusive ~on_grant:(on_grant "b2"));
+  Lock_table.release_all t ~txn:a;
+  (* Both copies are granted (idempotent for one txn), one holder entry. *)
+  Alcotest.(check (list string)) "both callbacks fired" [ "b2"; "b1" ] !granted;
+  Alcotest.(check int) "single holder entry" 1
+    (List.length (Lock_table.holders t ~key:"k"));
+  Lock_table.release_all t ~txn:b;
+  Alcotest.(check int) "no leak after release" 0 (Lock_table.locked_keys t)
+
+(* An S and an X request from one txn queued together must coalesce into
+   a single exclusive hold, not a mixed holder list or a self-deadlock. *)
+let test_queued_s_then_x_same_txn_coalesces () =
+  reset ();
+  let t = Lock_table.create () in
+  let a = txn 1 and b = txn 2 in
+  ignore (Lock_table.acquire t ~txn:a ~key:"k" ~mode:Exclusive ~on_grant:(fun () -> ()));
+  ignore (Lock_table.acquire t ~txn:b ~key:"k" ~mode:Shared ~on_grant:(on_grant "bs"));
+  ignore
+    (Lock_table.acquire t ~txn:b ~key:"k" ~mode:Exclusive ~on_grant:(on_grant "bx"));
+  Lock_table.release_all t ~txn:a;
+  Alcotest.(check (list string)) "both granted in order" [ "bx"; "bs" ] !granted;
+  Alcotest.(check bool) "holds X" true
+    (Lock_table.holds t ~txn:b ~key:"k" = Some Exclusive);
+  Alcotest.(check int) "single holder entry" 1
+    (List.length (Lock_table.holders t ~key:"k"));
+  Lock_table.release_all t ~txn:b;
+  Alcotest.(check int) "no leak after release" 0 (Lock_table.locked_keys t)
+
 let test_held_keys () =
   let t = Lock_table.create () in
   let a = txn 1 in
@@ -323,6 +364,10 @@ let () =
             test_release_removes_queued_requests;
           Alcotest.test_case "cancelled waiter unblocks queue" `Quick
             test_cancel_waiter_unblocks_queue;
+          Alcotest.test_case "duplicate queued request no leak" `Quick
+            test_duplicate_queued_request_no_leak;
+          Alcotest.test_case "queued S then X coalesces" `Quick
+            test_queued_s_then_x_same_txn_coalesces;
         ] );
       ( "deadlock",
         [

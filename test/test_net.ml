@@ -22,7 +22,9 @@ let test_unregistered_drops () =
   let net = fixed_net e in
   Net.send net ~src:0 ~dst:1 "x";
   Engine.run e;
-  Alcotest.(check int) "dropped" 1 (Net.stats net).dropped
+  Alcotest.(check int) "dropped" 1 (Net.Stats.dropped (Net.stats net));
+  Alcotest.(check int) "counted as partition loss" 1
+    (Net.stats net).dropped_partition
 
 let test_latency_sampling () =
   let e = Engine.create ~seed:5 () in
@@ -79,7 +81,63 @@ let test_drop_probability () =
   Alcotest.(check bool) "~half delivered" true (rate > 0.45 && rate < 0.55);
   Alcotest.(check int) "sent counted" n (Net.stats net).sent;
   Alcotest.(check int) "conservation" n
-    ((Net.stats net).delivered + (Net.stats net).dropped)
+    ((Net.stats net).delivered + Net.Stats.dropped (Net.stats net));
+  Alcotest.(check int) "all losses are link losses" 0
+    (Net.stats net).dropped_partition
+
+let test_dropped_split_accounting () =
+  (* One loss of each kind: a link-fault drop and a partition drop must
+     land in separate counters, with [Stats.dropped] as their sum. *)
+  let e = Engine.create ~seed:7 () in
+  let net = fixed_net e in
+  Net.register net 1 (fun ~src:_ _ -> ());
+  Net.set_link net ~src:0 ~dst:1
+    { Net.latency = Latency.Fixed (Time.us 10); drop = 1.0; duplicate = 0. };
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "link loss counted" 1 (Net.stats net).dropped_link;
+  Alcotest.(check int) "no partition loss yet" 0
+    (Net.stats net).dropped_partition;
+  Net.clear_link net ~src:0 ~dst:1;
+  Partition.split (Net.partition net) [ [ 0 ]; [ 1; 2 ] ];
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "partition loss counted" 1
+    (Net.stats net).dropped_partition;
+  Alcotest.(check int) "link losses unchanged" 1 (Net.stats net).dropped_link;
+  Alcotest.(check int) "derived total" 2 (Net.Stats.dropped (Net.stats net))
+
+let test_duplicate_stats () =
+  let e = Engine.create ~seed:4 () in
+  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0 } in
+  let net = Net.create e ~nodes:2 ~default:link in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "one send" 1 (Net.stats net).sent;
+  Alcotest.(check int) "one duplication" 1 (Net.stats net).duplicated;
+  Alcotest.(check int) "both copies delivered" 2 (Net.stats net).delivered;
+  Alcotest.(check int) "nothing dropped" 0 (Net.Stats.dropped (Net.stats net))
+
+let test_fifo_under_duplication () =
+  (* On a FIFO link a duplicate must land immediately after its original:
+     sending 0..9 with duplicate=1.0 yields 0,0,1,1,...,9,9. *)
+  let e = Engine.create ~seed:2 () in
+  let link =
+    { Net.latency = Latency.Uniform (Time.ms 1, Time.ms 20);
+      drop = 0.; duplicate = 1.0 }
+  in
+  let net = Net.create ~fifo:true e ~nodes:2 ~default:link in
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 0 to 9 do
+    Net.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  let expected = List.concat_map (fun i -> [ i; i ]) (List.init 10 Fun.id) in
+  Alcotest.(check (list int)) "contiguous duplicates, FIFO preserved"
+    expected (List.rev !got)
 
 let test_duplicate_probability () =
   let e = Engine.create ~seed:4 () in
@@ -150,6 +208,39 @@ let test_link_override () =
   Engine.run e;
   Alcotest.(check int) "override used" (Time.ms 42) !at
 
+let test_one_way_sever () =
+  let e = Engine.create () in
+  let net = fixed_net e in
+  let at1 = ref 0 and at0 = ref 0 in
+  Net.register net 0 (fun ~src:_ _ -> incr at0);
+  Net.register net 1 (fun ~src:_ _ -> incr at1);
+  Partition.sever (Net.partition net) ~src:0 ~dst:1;
+  Net.send net ~src:0 ~dst:1 ();
+  Net.send net ~src:1 ~dst:0 ();
+  Engine.run e;
+  Alcotest.(check int) "severed direction lost" 0 !at1;
+  Alcotest.(check int) "reverse direction delivers" 1 !at0;
+  Alcotest.(check int) "loss counted as partition" 1
+    (Net.stats net).dropped_partition;
+  Partition.restore (Net.partition net) ~src:0 ~dst:1;
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "restored" 1 !at1
+
+let test_sever_in_flight_loss () =
+  (* Reachability is re-checked at delivery, so a message already in the
+     air when its direction is severed is lost. *)
+  let e = Engine.create () in
+  let net = fixed_net ~latency:(Time.ms 10) e in
+  let got = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:1 ();
+  ignore
+    (Engine.schedule_after e (Time.ms 5) (fun () ->
+         Partition.sever (Net.partition net) ~src:0 ~dst:1));
+  Engine.run e;
+  Alcotest.(check int) "in-flight message lost" 0 !got
+
 let test_partition_module () =
   let p = Partition.create ~nodes:5 in
   Alcotest.(check bool) "initially connected" true (Partition.connected p 0 4);
@@ -164,6 +255,23 @@ let test_partition_module () =
   Alcotest.(check bool) "isolated" false (Partition.connected p 0 1);
   Partition.heal p;
   Alcotest.(check bool) "healed" true (Partition.connected p 0 3);
+  (* Directional edges: sever one way only. *)
+  Partition.sever p ~src:0 ~dst:1;
+  Alcotest.(check bool) "0->1 unreachable" false
+    (Partition.reachable p ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->0 still reachable" true
+    (Partition.reachable p ~src:1 ~dst:0);
+  Alcotest.(check bool) "connected needs both ways" false
+    (Partition.connected p 0 1);
+  Alcotest.(check bool) "severed edge counts as split" true
+    (Partition.is_split p);
+  Partition.restore p ~src:0 ~dst:1;
+  Alcotest.(check bool) "restored" true (Partition.connected p 0 1);
+  Alcotest.(check bool) "restore clears split" false (Partition.is_split p);
+  Partition.sever p ~src:2 ~dst:3;
+  Partition.heal p;
+  Alcotest.(check bool) "heal clears severed edges" true
+    (Partition.connected p 2 3);
   Alcotest.check_raises "double listing rejected"
     (Invalid_argument "Partition.split: node 1 listed twice") (fun () ->
       Partition.split p [ [ 1 ]; [ 1; 2 ] ])
@@ -206,6 +314,10 @@ let () =
         [
           Alcotest.test_case "drop" `Quick test_drop_probability;
           Alcotest.test_case "duplicate" `Quick test_duplicate_probability;
+          Alcotest.test_case "dropped split" `Quick test_dropped_split_accounting;
+          Alcotest.test_case "duplicate stats" `Quick test_duplicate_stats;
+          Alcotest.test_case "fifo under duplication" `Quick
+            test_fifo_under_duplication;
         ] );
       ( "partition",
         [
@@ -215,6 +327,9 @@ let () =
             test_partition_in_flight_loss;
           Alcotest.test_case "same side ok" `Quick
             test_partition_within_group_ok;
+          Alcotest.test_case "one-way sever" `Quick test_one_way_sever;
+          Alcotest.test_case "sever in-flight loss" `Quick
+            test_sever_in_flight_loss;
           Alcotest.test_case "partition module" `Quick test_partition_module;
         ] );
       ( "latency",
