@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json crash nemesis clean
+.PHONY: all build test lint bench bench-json crash nemesis explore clean
 
 all: build
 
@@ -30,6 +30,14 @@ crash:
 nemesis:
 	dune build bin/nemesis.exe
 	dune exec bin/nemesis.exe -- > NEMESIS.md; s=$$?; cat NEMESIS.md; exit $$s
+
+# Bounded exhaustive schedule exploration with DPOR: the N=3 scenario
+# matrix across all five commit protocols (see docs/EXPLORER.md).  Every
+# scenario closes within its budget; exit code = number of unexplained
+# audit violations; output is byte-identical run to run.
+explore:
+	dune build bin/explore.exe
+	dune exec bin/explore.exe -- > EXPLORE.md; s=$$?; cat EXPLORE.md; exit $$s
 
 clean:
 	dune clean

@@ -5,6 +5,7 @@ type t = {
   decision : decision option;
   pstate : participant_state;
   blocked : bool;
+  describe : unit -> string;
 }
 
 let rec of_2pc_coord c =
@@ -16,6 +17,7 @@ let rec of_2pc_coord c =
     decision = Two_pc.coord_decision c;
     pstate = P_uncertain;
     blocked = false;
+    describe = (fun () -> Two_pc.describe_coord c);
   }
 
 let rec of_2pc_part p =
@@ -27,6 +29,7 @@ let rec of_2pc_part p =
     decision = Two_pc.part_decision p;
     pstate = Two_pc.part_state p;
     blocked = Two_pc.part_blocked p;
+    describe = (fun () -> Two_pc.describe_part p);
   }
 
 let rec of_3pc_coord c =
@@ -38,6 +41,7 @@ let rec of_3pc_coord c =
     decision = Three_pc.coord_decision c;
     pstate = P_uncertain;
     blocked = false;
+    describe = (fun () -> Three_pc.describe_coord c);
   }
 
 let rec of_3pc_part p =
@@ -49,6 +53,7 @@ let rec of_3pc_part p =
     decision = Three_pc.part_decision p;
     pstate = Three_pc.part_state p;
     blocked = Three_pc.part_blocked p;
+    describe = (fun () -> Three_pc.describe_part p);
   }
 
 let rec of_qc_coord c =
@@ -60,6 +65,7 @@ let rec of_qc_coord c =
     decision = Quorum_commit.coord_decision c;
     pstate = P_uncertain;
     blocked = Quorum_commit.coord_blocked c;
+    describe = (fun () -> Quorum_commit.describe_coord c);
   }
 
 let rec of_qc_part p =
@@ -71,6 +77,7 @@ let rec of_qc_part p =
     decision = Quorum_commit.part_decision p;
     pstate = Quorum_commit.part_state p;
     blocked = Quorum_commit.part_blocked p;
+    describe = (fun () -> Quorum_commit.describe_part p);
   }
 
 let rec finished d =
@@ -89,4 +96,8 @@ let rec finished d =
     decision = Some d;
     pstate = (match d with Commit -> P_committed | Abort -> P_aborted);
     blocked = false;
+    describe =
+      (fun () ->
+        Printf.sprintf "finished{%s}"
+          (match d with Commit -> "C" | Abort -> "A"));
   }

@@ -13,6 +13,12 @@ type t = {
   decision : decision option;
   pstate : participant_state;
   blocked : bool;
+  describe : unit -> string;
+      (** Canonical single-line rendering of the {e complete} underlying
+          machine state — not just the observable facets — so a schedule
+          explorer can fingerprint it.  Closures hide the concrete state;
+          this is the one sanctioned window into it.  Equal descriptions
+          imply machines that behave identically on every input. *)
 }
 
 val of_2pc_coord : Two_pc.coord -> t

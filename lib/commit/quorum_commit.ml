@@ -138,7 +138,25 @@ let coord_step c input =
         @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
   | (C_done d | C_logging_decision { d; _ }), Recv (src, Decision_req) ->
       (c, [ Send (src, Decision_msg d) ])
-  | _, Recv (src, Decision_req) -> (c, [ Send (src, Decision_unknown) ])
+  (* Still undecided: stay silent rather than answer [Decision_unknown].
+     Our own timeouts will terminate us, so the asker loses nothing by
+     waiting — whereas "unknown" is the participants' cue to usurp the
+     election, which is only warranted when the asked site has no memory
+     of the transaction at all. *)
+  | _, Recv (_, Decision_req) -> (c, [])
+  (* A termination protocol elected at a higher epoch can out-decide a
+     coordinator that is still collecting votes or precommit acks.  The
+     deposed coordinator must adopt the decision: its own pre-decision
+     messages are epoch-fenced by every participant, so without adoption
+     it resends them forever and the client never gets an outcome. *)
+  | (C_init | C_collecting _ | C_logging_precommit | C_precommit_wait _),
+    Recv (_, Decision_msg d) ->
+      ( { c with c_phase = C_done d },
+        [ Clear_timer T_votes; Clear_timer T_precommit_ack;
+          Clear_timer T_resend; Deliver d; Log (L_decision d, `Lazy) ] )
+  | C_abort_wait _, Recv (_, Decision_msg Abort) ->
+      (* Our own abort came back via a peer; keep waiting for acks. *)
+      (c, [])
   | _, (Recv _ | Timeout _ | Log_done _ | Peer_down _ | Peers_reachable _
         | Start) ->
       (c, [])
@@ -246,12 +264,22 @@ let leader_apply p reports =
   if some P_committed then leader_decided p Commit
   else if some P_aborted then leader_decided p Abort
   else begin
-    let n_reach = List.length reports in
     let pc = sites P_precommitted and pa = sites P_preaborted in
     let uncertain = sites P_uncertain in
-    if (not (Sset.is_empty pc)) && Sset.is_empty pa
-       && n_reach >= p.p_cfg.commit_quorum
-    then begin
+    (* Quorum termination counts potential quorum members: sites already
+       pre-decided our way plus uncertain sites we can still drive.  Sites
+       pre-decided the *other* way are not obstacles — quorum intersection
+       (Vc + Va > N) plus epoch fencing guarantees that if the rival
+       decision had actually been reached, at least one reporting site
+       would be finished or pre-decided against us in every quorum we can
+       assemble, making the count fall short.  Requiring the rival set to
+       be empty (as this code once did) livelocks on mixed reports: one
+       pre-committed survivor plus a pre-aborted majority matched neither
+       rule, so every elected leader blocked, timed out, and re-elected
+       forever. *)
+    let pc_w = Sset.cardinal (Sset.union pc uncertain) in
+    let pa_w = Sset.cardinal (Sset.union pa uncertain) in
+    if (not (Sset.is_empty pc)) && pc_w >= p.p_cfg.commit_quorum then begin
       (* Drive the uncertain sites to pre-commit. *)
       let targets = Sset.remove p.p_self uncertain in
       let sends = send_to targets (Pq_precommit p.p_epoch) in
@@ -267,7 +295,7 @@ let leader_apply p reports =
         ( { p with p_role = R_leader (L_drive_commit { pc; awaiting = targets }) },
           sends @ timer )
     end
-    else if Sset.is_empty pc && n_reach >= p.p_cfg.abort_quorum then begin
+    else if pa_w >= p.p_cfg.abort_quorum then begin
       let targets = Sset.remove p.p_self uncertain in
       let sends = send_to targets (Pq_preabort p.p_epoch) in
       let timer = [ Set_timer (T_precommit_ack, p.p_timeouts.decision_wait) ] in
@@ -444,9 +472,29 @@ let part_step p input =
         match role with
         | R_follower -> [ Set_timer (T_resend, p.p_timeouts.resend_every) ]
         | _ -> [] )
-  | B_finished d, _, Recv (src, Decision_req) ->
+  | (B_finished d | B_logging_outcome d), _, Recv (src, Decision_req) ->
       (p, [ Send (src, Decision_msg d) ])
+  (* Undecided but holding live protocol state: stay silent.  We can run
+     (or already are running) the election ourselves, so "unknown" — the
+     cue for the asker to usurp the election — would only cause churn. *)
+  | ( ( B_uncertain | B_precommitted | B_preaborted | B_logging_prepared
+      | B_logging_precommit _ | B_logging_preabort _ ),
+      _,
+      Recv (_, Decision_req) ) ->
+      (p, [])
   | _, _, Recv (src, Decision_req) -> (p, [ Send (src, Decision_unknown) ])
+  (* A presumptive leader that answers "unknown" cannot terminate the
+     transaction for us — typically it lost every trace of it in a crash
+     (nothing in its recovered WAL to rebuild a machine from), so the
+     election we are waiting for will never start.  Usurp it.  Concurrent
+     leaders are harmless (epoch fencing), and collection terminates even
+     through the amnesiac site: a memoryless site pledges abort when our
+     [Pq_state_req] reaches it. *)
+  | ( (B_uncertain | B_precommitted | B_preaborted),
+      (R_normal | R_follower),
+      Recv (src, Decision_unknown) )
+    when Sset.min_elt_opt p.p_up = Some src ->
+      become_leader p
   | B_finished _, _, Recv (src, Decision_msg _) ->
       (* Our decision ack was lost and the sender is resending: re-ack
          so an abort-wait coordinator can retire its resend loop. *)
@@ -472,3 +520,78 @@ let part_step p input =
   | Start, (B_uncertain | B_precommitted | B_preaborted), R_normal ->
       start_termination p
   | _ -> part_step p input
+
+(* ------------------------------------------------------------------ *)
+(* Canonical description (explorer state fingerprinting)               *)
+(* ------------------------------------------------------------------ *)
+
+let set_str s = String.concat "," (List.map string_of_int (Sset.elements s))
+let dec_str = function Commit -> "C" | Abort -> "A"
+let epoch_str (r, s) = Printf.sprintf "%d.%d" r s
+
+let pstate_str st = Format.asprintf "%a" pp_participant_state st
+
+let reports_str rs =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) rs
+  |> List.map (fun (s, st) -> Printf.sprintf "%d=%s" s (pstate_str st))
+  |> String.concat ","
+
+let cfg_str c =
+  Printf.sprintf "all=%s;vc=%d;va=%d"
+    (String.concat "," (List.map string_of_int (List.sort Int.compare c.all)))
+    c.commit_quorum c.abort_quorum
+
+let describe_coord c =
+  let phase =
+    match c.c_phase with
+    | C_init -> "init"
+    | C_collecting { pending; yes } ->
+        Printf.sprintf "collecting{p=%s;y=%s}" (set_str pending) (set_str yes)
+    | C_logging_precommit -> "logging-precommit"
+    | C_precommit_wait { pc; pending; blocked } ->
+        Printf.sprintf "precommit-wait{pc=%s;p=%s;b=%b}" (set_str pc)
+          (set_str pending) blocked
+    | C_logging_decision { d; yes } ->
+        Printf.sprintf "logging-decision{%s;y=%s}" (dec_str d) (set_str yes)
+    | C_abort_wait { await } ->
+        Printf.sprintf "abort-wait{a=%s}" (set_str await)
+    | C_done d -> Printf.sprintf "done{%s}" (dec_str d)
+  in
+  Printf.sprintf "qc-coord:%s:self=%d:%s" (cfg_str c.c_cfg) c.c_self phase
+
+let describe_part p =
+  let ack_str = function None -> "-" | Some s -> string_of_int s in
+  let base =
+    match p.p_base with
+    | B_idle -> "idle"
+    | B_logging_prepared -> "logging-prepared"
+    | B_uncertain -> "uncertain"
+    | B_logging_precommit { ack_to; at } ->
+        Printf.sprintf "logging-precommit{ack=%s;at=%s}" (ack_str ack_to)
+          (epoch_str at)
+    | B_precommitted -> "precommitted"
+    | B_logging_preabort { ack_to; at } ->
+        Printf.sprintf "logging-preabort{ack=%s;at=%s}" (ack_str ack_to)
+          (epoch_str at)
+    | B_preaborted -> "preaborted"
+    | B_logging_outcome d -> Printf.sprintf "logging-outcome{%s}" (dec_str d)
+    | B_finished d -> Printf.sprintf "finished{%s}" (dec_str d)
+  in
+  let role =
+    match p.p_role with
+    | R_normal -> "normal"
+    | R_follower -> "follower"
+    | R_leader (L_collect { awaiting; reports }) ->
+        Printf.sprintf "leader-collect{a=%s;r=%s}" (set_str awaiting)
+          (reports_str reports)
+    | R_leader (L_drive_commit { pc; awaiting }) ->
+        Printf.sprintf "leader-drive-commit{pc=%s;a=%s}" (set_str pc)
+          (set_str awaiting)
+    | R_leader (L_drive_abort { pa; awaiting }) ->
+        Printf.sprintf "leader-drive-abort{pa=%s;a=%s}" (set_str pa)
+          (set_str awaiting)
+    | R_leader (L_decided d) -> Printf.sprintf "leader-decided{%s}" (dec_str d)
+  in
+  Printf.sprintf "qc-part:%s:%d<-%d:v=%b:up=%s:e=%s:b=%b:%s:%s"
+    (cfg_str p.p_cfg) p.p_self p.p_coordinator p.p_vote (set_str p.p_up)
+    (epoch_str p.p_epoch) p.p_blocked base role

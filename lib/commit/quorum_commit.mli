@@ -83,3 +83,11 @@ val part_reachable_update : part -> up:Ids.site_id list -> part
 (** Replace the reachability view (partitions heal as well as form, so a
     plain [Peer_down] stream is not enough).  The next timeout acts on the
     new view. *)
+
+val describe_coord : coord -> string
+(** Canonical single-line rendering of the full coordinator state for
+    explorer fingerprinting (every set in sorted order). *)
+
+val describe_part : part -> string
+(** Canonical rendering of the full participant state, including epoch,
+    termination role, and reachability view. *)

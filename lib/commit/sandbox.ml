@@ -58,6 +58,7 @@ type sim = {
   sites : int;
   votes : bool array;
   rng : Rt_sim.Rng.t option;  (* None = FIFO deterministic *)
+  (* rt_lint: allow fingerprint-coverage -- self-contained protocol sandbox with its own crash-sweep harness; never part of the cluster the explorer digests *)
   mutable coord : machine option;  (* lives at site 0 *)
   parts : machine option array;
   mutable pending : event list;  (* in arrival order *)
@@ -281,6 +282,7 @@ let recover sim site =
       | P_three_pc | P_quorum _ -> ()
   end
 
+(* rt_lint: allow no-toplevel-mutable-state -- opt-in debug tap, never read by simulation logic *)
 let debug_hook : (string -> unit) option ref = ref None
 
 let dbg fmt = Printf.ksprintf (fun s -> match !debug_hook with Some f -> f s | None -> ()) fmt

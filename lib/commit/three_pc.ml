@@ -129,7 +129,22 @@ let coord_step c input =
       (c, [ Send (src, Decision_msg d) ])
   | C_abort_wait _, Recv (src, Decision_req) ->
       (c, [ Send (src, Decision_msg Abort) ])
-  | _, Recv (src, Decision_req) -> (c, [ Send (src, Decision_unknown) ])
+  (* Still undecided: stay silent rather than answer [Decision_unknown].
+     Our own timeouts will terminate us, so the asker loses nothing by
+     waiting — whereas "unknown" is the participants' cue to usurp the
+     election, which is only warranted when the asked site has no memory
+     of the transaction at all. *)
+  | _, Recv (_, Decision_req) -> (c, [])
+  (* An elected termination leader can out-decide a coordinator that is
+     still collecting votes or precommit acks (false suspicion: its
+     timeout fired while the coordinator was merely slow).  The deposed
+     coordinator adopts the decision instead of driving its own round to
+     a stall — or, worse, to a conflicting outcome. *)
+  | (C_init | C_collecting _ | C_logging_precommit | C_precommit_wait _),
+    Recv (_, Decision_msg d) ->
+      ( { c with c_phase = C_done d },
+        [ Clear_timer T_votes; Clear_timer T_precommit_ack;
+          Clear_timer T_resend; Deliver d; Log (L_decision d, `Lazy) ] )
   | _, (Recv _ | Timeout _ | Log_done _ | Peer_down _ | Peers_reachable _
         | Start) ->
       (c, [])
@@ -395,9 +410,28 @@ let part_step p input =
   (* Everyone answers state and decision queries. *)
   | _, _, Recv (src, State_req) ->
       (p, [ Send (src, State_report (part_state p)) ])
-  | B_finished d, _, Recv (src, Decision_req) ->
+  | (B_finished d | B_logging_outcome d), _, Recv (src, Decision_req) ->
       (p, [ Send (src, Decision_msg d) ])
+  (* Undecided but holding live protocol state: stay silent.  We can run
+     (or already are running) the election ourselves, so "unknown" — the
+     cue for the asker to usurp the election — would only cause churn. *)
+  | ( (B_uncertain | B_precommitted | B_logging_prepared
+      | B_logging_precommit _),
+      _,
+      Recv (_, Decision_req) ) ->
+      (p, [])
   | _, _, Recv (src, Decision_req) -> (p, [ Send (src, Decision_unknown) ])
+  (* A presumptive leader that answers "unknown" lost every trace of the
+     transaction in a crash and will never start the election we are
+     waiting for.  Usurp it: under reliable delivery concurrent usurpers
+     collect identical state reports and reach the same outcome, and the
+     amnesiac site pledges abort when a [State_req] reaches it, so the
+     round terminates. *)
+  | ( (B_uncertain | B_precommitted),
+      (R_normal | R_follower),
+      Recv (src, Decision_unknown) )
+    when leader_candidate p = Some src ->
+      become_leader p
   | B_finished _, _, Recv (src, Decision_msg _) ->
       (* Our decision ack was lost and the coordinator is resending:
          without this re-ack an abort-wait coordinator resends forever
@@ -445,3 +479,64 @@ let part_step p input =
       ( { p with p_role = R_normal },
         asks @ [ Set_timer (T_decision, p.p_timeouts.decision_wait) ] )
   | _ -> part_step p input
+
+(* ------------------------------------------------------------------ *)
+(* Canonical description (explorer state fingerprinting)               *)
+(* ------------------------------------------------------------------ *)
+
+let set_str s = String.concat "," (List.map string_of_int (Sset.elements s))
+let dec_str = function Commit -> "C" | Abort -> "A"
+
+let pstate_str st = Format.asprintf "%a" pp_participant_state st
+
+let reports_str rs =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) rs
+  |> List.map (fun (s, st) -> Printf.sprintf "%d=%s" s (pstate_str st))
+  |> String.concat ","
+
+let describe_coord c =
+  let phase =
+    match c.c_phase with
+    | C_init -> "init"
+    | C_collecting { pending; yes } ->
+        Printf.sprintf "collecting{p=%s;y=%s}" (set_str pending) (set_str yes)
+    | C_logging_precommit -> "logging-precommit"
+    | C_precommit_wait { await } ->
+        Printf.sprintf "precommit-wait{a=%s}" (set_str await)
+    | C_logging_decision { d; notify; await } ->
+        Printf.sprintf "logging-decision{%s;n=%s;a=%s}" (dec_str d)
+          (set_str notify) (set_str await)
+    | C_abort_wait { await } ->
+        Printf.sprintf "abort-wait{a=%s}" (set_str await)
+    | C_done d -> Printf.sprintf "done{%s}" (dec_str d)
+  in
+  Printf.sprintf "3pc-coord:parts=%s:%s" (set_str c.c_participants) phase
+
+let describe_part p =
+  let base =
+    match p.p_base with
+    | B_idle -> "idle"
+    | B_logging_prepared -> "logging-prepared"
+    | B_uncertain -> "uncertain"
+    | B_logging_precommit { ack_to } ->
+        Printf.sprintf "logging-precommit{ack=%s}"
+          (match ack_to with None -> "-" | Some s -> string_of_int s)
+    | B_precommitted -> "precommitted"
+    | B_logging_outcome d -> Printf.sprintf "logging-outcome{%s}" (dec_str d)
+    | B_finished d -> Printf.sprintf "finished{%s}" (dec_str d)
+  in
+  let role =
+    match p.p_role with
+    | R_normal -> "normal"
+    | R_follower -> "follower"
+    | R_leader (L_collect { awaiting; reports }) ->
+        Printf.sprintf "leader-collect{a=%s;r=%s}" (set_str awaiting)
+          (reports_str reports)
+    | R_leader (L_precommit_acks { awaiting }) ->
+        Printf.sprintf "leader-precommit-acks{a=%s}" (set_str awaiting)
+    | R_leader (L_deciding d) ->
+        Printf.sprintf "leader-deciding{%s}" (dec_str d)
+  in
+  Printf.sprintf "3pc-part:%d<-%d:all=%s:v=%b:up=%s:cu=%b:%s:%s" p.p_self
+    p.p_coordinator (set_str p.p_all) p.p_vote (set_str p.p_up) p.p_coord_up
+    base role

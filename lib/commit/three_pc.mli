@@ -61,3 +61,11 @@ val part_state : part -> participant_state
 val part_blocked : part -> bool
 (** 3PC participants never stay blocked while any peer is up; exposed for
     symmetric measurement against 2PC in experiment F5. *)
+
+val describe_coord : coord -> string
+(** Canonical single-line rendering of the full coordinator state for
+    explorer fingerprinting (every set in sorted order). *)
+
+val describe_part : part -> string
+(** Canonical rendering of the full participant state, including
+    termination role and reachability view. *)

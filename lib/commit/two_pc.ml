@@ -355,3 +355,44 @@ let part_step p input =
       ( { p with p_phase = P_wait_decision { blocked } },
         ask_around p @ [ Set_timer (T_resend, p.p_timeouts.resend_every) ] )
   | _ -> part_step p input
+
+(* ------------------------------------------------------------------ *)
+(* Canonical description (explorer state fingerprinting)               *)
+(* ------------------------------------------------------------------ *)
+
+let set_str s = String.concat "," (List.map string_of_int (Sset.elements s))
+let dec_str = function Commit -> "C" | Abort -> "A"
+
+let describe_coord c =
+  let phase =
+    match c.c_phase with
+    | C_init -> "init"
+    | C_logging_collecting -> "logging-collecting"
+    | C_collecting { pending; yes } ->
+        Printf.sprintf "collecting{p=%s;y=%s}" (set_str pending) (set_str yes)
+    | C_logging_decision { d; yes; pending } ->
+        Printf.sprintf "logging-decision{%s;y=%s;p=%s}" (dec_str d)
+          (set_str yes) (set_str pending)
+    | C_decided { d; await_acks } ->
+        Printf.sprintf "decided{%s;a=%s}" (dec_str d) (set_str await_acks)
+    | C_done d -> Printf.sprintf "done{%s}" (dec_str d)
+  in
+  Printf.sprintf "2pc-coord:%s:parts=%s:%s" (variant_name c.c_variant)
+    (set_str c.c_participants) phase
+
+let describe_part p =
+  let phase =
+    match p.p_phase with
+    | P_idle -> "idle"
+    | P_logging_prepared -> "logging-prepared"
+    | P_wait_decision { blocked } ->
+        Printf.sprintf "wait-decision{b=%b}" blocked
+    | P_logging_outcome d -> Printf.sprintf "logging-outcome{%s}" (dec_str d)
+    | P_finished d -> Printf.sprintf "finished{%s}" (dec_str d)
+    | P_forgotten -> "forgotten"
+  in
+  Printf.sprintf "2pc-part:%s:%d<-%d:peers=%s:v=%b:ro=%b:%s"
+    (variant_name p.p_variant) p.p_self p.p_coordinator
+    (String.concat ","
+       (List.map string_of_int (List.sort Int.compare p.p_peers)))
+    p.p_vote p.p_read_only phase

@@ -103,3 +103,13 @@ val part_state : part -> participant_state
 
 val part_blocked : part -> bool
 (** Currently in the uncertain window with no way to decide. *)
+
+val describe_coord : coord -> string
+(** Canonical single-line rendering of the full coordinator state —
+    phase constructor plus every vote/ack set in sorted order — used by
+    the schedule explorer to fingerprint protocol machines.  Equal
+    descriptions imply behaviourally identical machines. *)
+
+val describe_part : part -> string
+(** Canonical rendering of the full participant state (see
+    {!describe_coord}). *)

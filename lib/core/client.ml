@@ -2,6 +2,7 @@ open Rt_sim
 open Rt_types
 
 type stats = {
+  (* rt_lint: allow fingerprint-coverage -- workload-driver tallies, not simulated site state *)
   mutable committed : int;
   mutable aborted : int;
   mutable retries : int;

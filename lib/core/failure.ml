@@ -30,6 +30,7 @@ let isolate_shard cluster ~shard =
   Cluster.partition cluster
     (if rest = [] then [ members ] else [ members; rest ])
 
+(* rt_lint: allow fingerprint-coverage -- fault-injector toggle, not simulated site state *)
 type process = { mutable running : bool }
 
 let random_crashes cluster ~mttf ~mttr ?(protect = []) () =

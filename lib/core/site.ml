@@ -279,14 +279,26 @@ let guarded t f =
 (* Forward reference: [receive] is defined at the bottom but needed for
    local loop-back delivery. *)
 let receive_ref : (t -> src:Ids.site_id -> Msg.t -> unit) ref =
+  (* rt_lint: allow no-toplevel-mutable-state -- write-once forward declaration holding code, bound at module init; carries no per-cluster state *)
   ref (fun _ ~src:_ _ -> assert false)
+
+(* Forward reference: when a participant machine resolves a transaction
+   whose coordinator lives on the same site, the coordinator must learn
+   the decision too — a termination protocol can out-decide a deposed
+   coordinator, and its decision distribution never produces a network
+   message for a machine on its own site.  Bound after [feed_coord]. *)
+let notify_coord_decided_ref : (t -> Tid.t -> P.decision -> unit) ref =
+  (* rt_lint: allow no-toplevel-mutable-state -- write-once forward declaration holding code, bound at module init; carries no per-cluster state *)
+  ref (fun _ _ _ -> ())
 
 let local_send t ~dst msg =
   if dst = t.id then begin
     (* Local loop-back: deliver through a zero-delay event so handling
        never re-enters the current call stack. *)
     let deliver = guarded t (fun () -> !receive_ref t ~src:t.id msg) in
-    ignore (Engine.schedule_after t.engine Time.zero deliver)
+    ignore
+      (Engine.schedule_after ~label:(Engine.Internal t.id) t.engine Time.zero
+         deliver)
   end
   else t.send_raw ~dst msg
 
@@ -376,11 +388,13 @@ let part_ctx t txn =
 (* Forward reference for the orphan sweeper (doom_part is defined below). *)
 let doom_part_ref :
     (t -> part_ctx -> Msg.refusal -> unit) ref =
+  (* rt_lint: allow no-toplevel-mutable-state -- write-once forward declaration holding code, bound at module init; carries no per-cluster state *)
   ref (fun _ _ _ -> ())
 
 (* Forward reference for probe initiation (defined with the probe
    machinery below). *)
 let send_probe_ref : (t -> initiator:Tid.t -> target:Tid.t -> unit) ref =
+  (* rt_lint: allow no-toplevel-mutable-state -- write-once forward declaration holding code, bound at module init; carries no per-cluster state *)
   ref (fun _ ~initiator:_ ~target:_ -> ())
 
 let get_or_create_part t txn =
@@ -417,7 +431,9 @@ let get_or_create_part t txn =
       let rec sweep () =
         ctx.pt_sweep <-
           Some
-            (Engine.schedule_after t.engine orphan_window
+            (Engine.schedule_after
+               ~label:(Engine.Timer { site = t.id; name = "orphan-sweep" })
+               t.engine orphan_window
                (guarded t (fun () ->
                     ctx.pt_sweep <- None;
                     if not ctx.pt_resolved then
@@ -469,15 +485,24 @@ let to_clear_pending t ctx =
     ctx.pt_to_keys;
   ctx.pt_to_keys <- []
 
+(* Machine reclamation is a *delayed* cleanup, not a prompt continuation:
+   it must be labelled as a timer, not [Internal], or an explorer that
+   eagerly drains internal events reaps the machine ahead of in-flight
+   protocol traffic (an ack then finds no machine, is dropped, and the
+   reaped-but-live closure resends forever). *)
 let gc_part t ctx =
   ignore
-    (Engine.schedule_after t.engine (Time.sec 2)
+    (Engine.schedule_after
+       ~label:(Engine.Timer { site = t.id; name = "gc" })
+       t.engine (Time.sec 2)
        (guarded t (fun () ->
             if ctx.pt_resolved then Ids.Txn_map.remove t.parts ctx.pt_txn)))
 
 let gc_coord t ctx =
   ignore
-    (Engine.schedule_after t.engine (Time.sec 2)
+    (Engine.schedule_after
+       ~label:(Engine.Timer { site = t.id; name = "gc" })
+       t.engine (Time.sec 2)
        (guarded t (fun () ->
             if ctx.co_finished then Ids.Txn_map.remove t.coords ctx.co_txn)))
 
@@ -486,7 +511,11 @@ let set_timer t timers ~feed tm delay =
   | Some ev -> Engine.cancel t.engine ev
   | None -> ());
   let ev =
-    Engine.schedule_after t.engine delay
+    Engine.schedule_after
+      ~label:
+        (Engine.Timer
+           { site = t.id; name = Format.asprintf "%a" P.pp_timer tm })
+      t.engine delay
       (guarded t (fun () ->
            Hashtbl.remove timers tm;
            feed (P.Timeout tm)))
@@ -618,6 +647,7 @@ and resolve_part t ctx (d : P.decision) =
     Ids.Txn_map.remove t.first_lsn ctx.pt_txn;
     to_clear_pending t ctx;
     Lock.release_all t.locks ~txn:ctx.pt_txn;
+    !notify_coord_decided_ref t ctx.pt_txn d;
     gc_part t ctx
   end
 
@@ -712,7 +742,9 @@ let acquire_for_op t ctx ~mode ~key ~(on_granted : unit -> unit)
       | Lock.Waiting ->
           ctx.pt_waits <- wait :: ctx.pt_waits;
           let timer =
-            Engine.schedule_after t.engine t.config.lock_wait_timeout
+            Engine.schedule_after
+              ~label:(Engine.Timer { site = t.id; name = "lock-wait" })
+              t.engine t.config.lock_wait_timeout
               (guarded t (fun () ->
                    if not wait.w_done then doom_part t ctx Msg.R_lock_timeout))
           in
@@ -951,6 +983,21 @@ and finish_coord t ctx outcome =
     gc_coord t ctx
   end
 
+let () =
+  notify_coord_decided_ref :=
+    fun t txn d ->
+      if Ids.Txn_map.mem t.coords txn then
+        (* Zero-delay loop-back so the coordinator steps outside the
+           participant's interpretation, like any local delivery. *)
+        ignore
+          (Engine.schedule_after ~label:(Engine.Internal t.id) t.engine
+             Time.zero
+             (guarded t (fun () ->
+                  match Ids.Txn_map.find_opt t.coords txn with
+                  | Some ctx when ctx.co_machine <> None ->
+                      feed_coord t ctx (P.Recv (t.id, P.Decision_msg d))
+                  | Some _ | None -> ())))
+
 (* Abort before the commit protocol started: tell every touched site and
    fail any operation the caller is still waiting on. *)
 let abort_coord_early t ctx reason =
@@ -1009,7 +1056,9 @@ let rec do_read t ctx ~key ~k =
               Sset.add (Placement.shard_of_key t.placement key) ctx.co_shards;
             ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
             let timer =
-              Engine.schedule_after t.engine t.config.op_timeout
+              Engine.schedule_after
+                ~label:(Engine.Timer { site = t.id; name = "op-timeout" })
+                t.engine t.config.op_timeout
                 (guarded t (fun () -> abort_coord_early t ctx Op_timeout))
             in
             let wait =
@@ -1042,7 +1091,9 @@ and do_write t ctx ~key ~value ~k =
           Sset.add (Placement.shard_of_key t.placement key) ctx.co_shards;
         ctx.co_touched <- Sset.union ctx.co_touched (Sset.of_list plan);
         let timer =
-          Engine.schedule_after t.engine t.config.op_timeout
+          Engine.schedule_after
+            ~label:(Engine.Timer { site = t.id; name = "op-timeout" })
+            t.engine t.config.op_timeout
             (guarded t (fun () -> abort_coord_early t ctx Op_timeout))
         in
         let wait =
@@ -1065,7 +1116,8 @@ and send_read t ctx ~dst ~key =
     handle_read_req t ~txn:ctx.co_txn ~key ~reply:(fun result ->
         (* Loop back asynchronously so reply handling never re-enters. *)
         ignore
-          (Engine.schedule_after t.engine Time.zero
+          (Engine.schedule_after ~label:(Engine.Internal t.id) t.engine
+             Time.zero
              (guarded t (fun () ->
                   coord_read_reply t ctx ~src:t.id ~key ~result))))
   else begin
@@ -1077,7 +1129,8 @@ and send_write t ctx ~dst ~key ~value =
   if dst = t.id then
     handle_write_req t ~txn:ctx.co_txn ~key ~reply:(fun result ->
         ignore
-          (Engine.schedule_after t.engine Time.zero
+          (Engine.schedule_after ~label:(Engine.Internal t.id) t.engine
+             Time.zero
              (guarded t (fun () ->
                   coord_write_reply t ctx ~src:t.id ~key ~result))))
   else begin
@@ -1520,7 +1573,8 @@ let recover t =
     in
     let inc = t.incarnation in
     ignore
-      (Engine.schedule_after t.engine duration (fun () ->
+      (Engine.schedule_after ~label:(Engine.Internal t.id) t.engine duration
+         (fun () ->
            if t.incarnation = inc && not t.up then begin
              t.up <- true;
              let settle txn d =
@@ -1596,8 +1650,11 @@ let recover t =
                      t.send_raw ~dst:peer
                        (Msg.site_msg (Msg.Catchup_req { keys = inventory t }));
                      ignore
-                       (Engine.schedule_after t.engine
-                          t.config.commit_timeouts.resend_every
+                       (Engine.schedule_after
+                          ~label:
+                            (Engine.Timer
+                               { site = t.id; name = "catchup-retry" })
+                          t.engine t.config.commit_timeouts.resend_every
                           (guarded t ask))
                    end
                in
@@ -1620,7 +1677,10 @@ let preload t ~entries =
 (* ------------------------------------------------------------------ *)
 
 (* Opt-in diagnostic ring buffer of recent deliveries (debugging aid). *)
+(* rt_lint: allow no-toplevel-mutable-state -- opt-in debug tap, never read by simulation logic *)
 let trace_deliveries = ref false
+
+(* rt_lint: allow no-toplevel-mutable-state -- opt-in debug tap, never read by simulation logic *)
 let recent : string list ref = ref []
 
 let note_recent t ~src msg =
@@ -1672,3 +1732,160 @@ let receive t ~src (msg : Msg.t) =
         ()
 
 let () = receive_ref := receive
+
+(* ------------------------------------------------------------------ *)
+(* Canonical state dump / fingerprint (schedule explorer)              *)
+(* ------------------------------------------------------------------ *)
+
+let tid_str txn = Format.asprintf "%a" Tid.pp txn
+let tid_opt = function None -> "-" | Some txn -> tid_str txn
+let sset_str s = String.concat "," (List.map string_of_int (Sset.elements s))
+
+let writes_str ws =
+  List.sort
+    (fun (k1, v1, n1) (k2, v2, n2) ->
+      let c = String.compare k1 k2 in
+      if c <> 0 then c
+      else
+        let c = String.compare v1 v2 in
+        if c <> 0 then c else Int.compare n1 n2)
+    ws
+  |> List.map (fun (k, v, n) -> Printf.sprintf "%s=%s@%d" k v n)
+  |> String.concat ","
+
+let timers_str timers =
+  Hashtbl.fold
+    (fun tm _ acc -> Format.asprintf "%a" P.pp_timer tm :: acc)
+    timers []
+  |> List.sort String.compare |> String.concat ","
+
+let machine_str = function
+  | None -> "-"
+  | Some m -> m.Erased.describe ()
+
+(* Canonical rendering of everything that can influence future behaviour
+   — store, log, checkpoints, locks, TO stamps, live protocol contexts
+   (including the full machine state via [Erased.describe]), decision
+   tables, and the failure-detector view.  Every hash table is rendered
+   in sorted key order, so two states that differ only in insertion
+   history dump identically.  Exploration-irrelevant bookkeeping
+   (metrics, latency samples, engine event ids) is deliberately
+   excluded. *)
+let dump t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let item_str (k, { Kv.value; version }) =
+    Printf.sprintf "%s=%s@%d;" k value version
+  in
+  add "site%d up=%b catching=%b seq=%d cp=%d\n" t.id t.up t.catching t.txn_seq
+    t.commits_since_cp;
+  add "kv:";
+  List.iter (fun e -> add "%s" (item_str e)) (Kv.snapshot t.kv);
+  add "\nwal:%s\n"
+    (Wal.dump t.wal ~record:(fun r -> Format.asprintf "%a" LR.pp r));
+  add "cp:%d" (Checkpoint.count t.cp);
+  (match Checkpoint.latest t.cp with
+  | None -> ()
+  | Some (snap, lsn) ->
+      add "@%d{" lsn;
+      List.iter (fun e -> add "%s" (item_str e)) snap;
+      add "}");
+  add "\nlocks:";
+  List.iter
+    (fun (key, holders, waiting) ->
+      let side l =
+        String.concat ","
+          (List.map
+             (fun (txn, m) ->
+               Format.asprintf "%a/%a" Tid.pp txn Lock.pp_mode m)
+             l)
+      in
+      add "%s{h=%s;w=%s};" key (side holders) (side waiting))
+    (Lock.dump t.locks);
+  add "\nto:";
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.to_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, e) ->
+         add "%s{r=%s;w=%s;p=%s};" k (tid_opt e.rts) (tid_opt e.wts)
+           (String.concat ","
+              (List.map tid_str (List.sort Tid.compare e.to_pending))));
+  add "\nparts:";
+  Ids.Txn_map.fold (fun txn ctx acc -> (txn, ctx) :: acc) t.parts []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  |> List.iter (fun (txn, ctx) ->
+         add "%s{w=%s;ps=%s;m=%s;d=%s;res=%b;swp=%b;tm=%s;waits=%d;tok=%s};"
+           (tid_str txn) (writes_str ctx.pt_writes)
+           (String.concat ","
+              (List.map string_of_int
+                 (List.sort Int.compare ctx.pt_participants)))
+           (machine_str ctx.pt_machine)
+           (match ctx.pt_doomed with
+           | None -> "-"
+           | Some r -> Format.asprintf "%a" Msg.pp_refusal r)
+           ctx.pt_resolved
+           (Option.is_some ctx.pt_sweep)
+           (timers_str ctx.pt_timers)
+           (List.length (List.filter (fun w -> not w.w_done) ctx.pt_waits))
+           (String.concat "," (List.sort String.compare ctx.pt_to_keys)));
+  add "\ncoords:";
+  Ids.Txn_map.fold (fun txn ctx acc -> (txn, ctx) :: acc) t.coords []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  |> List.iter (fun (txn, ctx) ->
+         let op_str = function
+           | Rt_workload.Mix.Read k -> Printf.sprintf "r(%s)" k
+           | Rt_workload.Mix.Write (k, v) -> Printf.sprintf "w(%s=%s)" k v
+         in
+         let wait_str =
+           match ctx.co_wait with
+           | None -> "-"
+           | Some (W_read w) ->
+               Printf.sprintf "read{%s;p=%s;v=%d}" w.rw_key
+                 (sset_str w.rw_pending) w.rw_version
+           | Some (W_write w) ->
+               Printf.sprintf "write{%s=%s;p=%s;mv=%d}" w.ww_key w.ww_value
+                 (sset_str w.ww_pending) w.ww_maxv
+         in
+         let site_writes =
+           Hashtbl.fold (fun s ws acc -> (s, !ws) :: acc) ctx.co_site_writes []
+           |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+           |> List.map (fun (s, ws) ->
+                  Printf.sprintf "%d:%s" s (writes_str ws))
+           |> String.concat "|"
+         in
+         let cache =
+           Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.co_cache []
+           |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+           |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v)
+           |> String.concat ","
+         in
+         add
+           "%s{ops=%s;tch=%s;sh=%s;m=%s;wait=%s;fin=%b;out=%s;tm=%s;sw=%s;\
+            c=%s};"
+           (tid_str txn)
+           (String.concat "," (List.map op_str ctx.co_ops))
+           (sset_str ctx.co_touched) (sset_str ctx.co_shards)
+           (machine_str ctx.co_machine) wait_str ctx.co_finished
+           (match ctx.co_outcome with
+           | None -> "-"
+           | Some Committed -> "C"
+           | Some (Aborted r) -> "A:" ^ abort_reason_label r)
+           (timers_str ctx.co_timers) site_writes cache);
+  let decisions tag map =
+    add "\n%s:" tag;
+    Ids.Txn_map.fold (fun txn d acc -> (txn, d) :: acc) map []
+    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+    |> List.iter (fun (txn, d) ->
+           add "%s=%s;" (tid_str txn)
+             (match d with P.Commit -> "C" | P.Abort -> "A"))
+  in
+  decisions "presumed" t.presumed;
+  decisions "decided" t.decided;
+  add "\nfirst_lsn:";
+  Ids.Txn_map.fold (fun txn l acc -> (txn, l) :: acc) t.first_lsn []
+  |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  |> List.iter (fun (txn, l) -> add "%s=%d;" (tid_str txn) l);
+  add "\nview:%s\n"
+    (String.concat "," (List.map string_of_int (up_view t)));
+  Buffer.contents buf
+
+let fingerprint t = Digest.to_hex (Digest.string (dump t))

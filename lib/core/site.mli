@@ -160,3 +160,15 @@ val pending_protocol_timers : t -> int
 
 val latencies : t -> Rt_metrics.Sample.t
 (** Commit latencies (seconds) of transactions coordinated here. *)
+
+val dump : t -> string
+(** Canonical rendering of the complete behavioural state of the site —
+    store, log, checkpoints, locks, timestamp-ordering stamps, every
+    live commitment context including the full machine state, decision
+    tables, and the failure-detector view — with every hash table in
+    sorted order, so dumps are insertion-history-independent.  Two sites
+    with equal dumps react identically to every future input. *)
+
+val fingerprint : t -> string
+(** Hex digest of {!dump}: the site's contribution to the explorer's
+    state-dedup key. *)

@@ -1,0 +1,82 @@
+(** Cluster harness for the explorer: small-scope scenarios (N = 3, one
+    or two transactions, all five commit protocols, full and two-shard
+    placements, optional crash injection), the standard sweep matrix,
+    and the byte-stable report [make explore] regenerates.
+
+    Every scenario runs twice — sleep sets on and off, both with state
+    dedup — so the reported reduction factor isolates the partial-order
+    reduction.  All randomness is neutralized: fixed link latency, no
+    drops, a fixed seed, and a heartbeat interval far beyond the
+    horizon. *)
+
+type crash_spec = {
+  cr_sites : int list;  (** Sites whose crash points become decisions. *)
+  cr_points : string list;  (** Empty = every announced point. *)
+  cr_budget : int;  (** Max crash injections per schedule. *)
+}
+
+type scenario = {
+  sc_name : string;
+  sc_protocol : Rt_core.Config.commit_protocol;
+  sc_sharded : bool;
+  sc_txns : (int * Rt_workload.Mix.op list) list;  (** (origin, ops) *)
+  sc_crash : crash_spec option;
+  sc_max_executions : int;
+  sc_expected : (string * string) list;
+      (** (invariant, detail substring) pairs for documented-known
+          violations; matches are reported but do not fail the sweep. *)
+}
+
+val protocols : (string * Rt_core.Config.commit_protocol) list
+(** The five commit protocols, keyed by report name. *)
+
+val scenario :
+  ?sharded:bool ->
+  ?crash:crash_spec ->
+  ?max_executions:int ->
+  ?expected:(string * string) list ->
+  name:string ->
+  protocol:Rt_core.Config.commit_protocol ->
+  txns:(int * Rt_workload.Mix.op list) list ->
+  unit ->
+  scenario
+
+val default_matrix : unit -> scenario list
+(** Four scenarios (full, shard2, conflict, crash) per protocol. *)
+
+val find_scenario : string -> scenario option
+
+val make_sys : scenario -> unit -> Explore.sys
+(** Build a fresh cluster harness for one execution of [scenario]; the
+    t = 0 heartbeat burst is drained so exploration starts settled. *)
+
+val opts_of : scenario -> sleep:bool -> Explore.opts
+(** Explorer options for a scenario: state dedup on, one timeout
+    injection per schedule (CHESS-style bounded), infra timers held
+    pending until the leaf drain, wal-device completions eager. *)
+
+type row = {
+  rw_scenario : scenario;
+  rw_sleep : Explore.result;
+  rw_nosleep : Explore.result;
+  rw_counterexamples : (int list * string list * (string * string) list) list;
+      (** Minimized schedule, trace, violations. *)
+  rw_unexplained : int;
+}
+
+val run_scenario : scenario -> row
+(** Explore with and without sleep sets, minimize up to three violating
+    leaves, and count the violations not matched by [sc_expected]. *)
+
+val reduction_factor : row -> float * bool
+(** Executions(no-sleep) / executions(sleep); the flag is [true] when the
+    no-sleep run hit its execution budget (factor is a lower bound). *)
+
+val render_report : Format.formatter -> row list -> int
+(** Write the markdown report; returns total unexplained violations. *)
+
+val run_matrix :
+  ?filter:(scenario -> bool) -> ?budget:int -> Format.formatter -> int
+(** Run (a filtered subset of) the default matrix, optionally clamping
+    per-scenario execution budgets, render the report, and return the
+    total number of unexplained violations. *)

@@ -23,6 +23,12 @@ let of_edges list =
 
 let edges t = Edge_set.elements t.set
 
+let dump t =
+  Edge_set.elements t.set
+  |> List.map (fun (a, b) ->
+         Printf.sprintf "%s->%s;" (Tid.to_string a) (Tid.to_string b))
+  |> String.concat ""
+
 let successors t node =
   Edge_set.fold
     (fun (a, b) acc -> if Tid.equal a node then b :: acc else acc)

@@ -19,6 +19,10 @@ val of_edges : (Ids.Txn_id.t * Ids.Txn_id.t) list -> t
 val edges : t -> (Ids.Txn_id.t * Ids.Txn_id.t) list
 (** Sorted, deduplicated. *)
 
+val dump : t -> string
+(** Canonical rendering of the edge set (sorted), for state
+    fingerprints. *)
+
 val find_cycle : t -> Ids.Txn_id.t list option
 (** Some cycle (each node waits for the next, last waits for first), or
     [None] if the graph is acyclic. *)

@@ -56,7 +56,10 @@ let rec tick t epoch () =
   if t.running && t.epoch = epoch then begin
     Det.iter_sorted ~cmp:Int.compare (fun peer _ -> t.send_beat peer) t.peers;
     check t;
-    ignore (Engine.schedule_after t.engine t.interval (tick t epoch))
+    ignore
+      (Engine.schedule_after
+         ~label:(Engine.Recurring { site = t.self; name = "heartbeat" })
+         t.engine t.interval (tick t epoch))
   end
 
 let start t =

@@ -36,6 +36,9 @@ type 'msg t = {
   part : Partition.t;
   (* Per-link virtual "last scheduled delivery" used to enforce FIFO. *)
   last_delivery : (node_id * node_id, Time.t) Hashtbl.t;
+  (* Scheduled-but-undelivered messages, keyed by the engine seq of their
+     delivery event — the explorer's view of the wire. *)
+  in_flight : (int, node_id * node_id * 'msg) Hashtbl.t;
   stats : Stats.t;
 }
 
@@ -53,6 +56,7 @@ let create ?(fifo = true) ?seed_rng engine ~nodes ~default =
     handlers = Array.make nodes None;
     part = Partition.create ~nodes;
     last_delivery = Hashtbl.create 64;
+    in_flight = Hashtbl.create 64;
     stats = Stats.create ();
   }
 
@@ -95,7 +99,8 @@ let unregister t n =
   check_node t n;
   t.handlers.(n) <- None
 
-let deliver t ~src ~dst msg () =
+let deliver t ~src ~dst ~seq msg () =
+  Hashtbl.remove t.in_flight seq;
   if Partition.reachable t.part ~src ~dst then
     match t.handlers.(dst) with
     | Some handler ->
@@ -124,7 +129,18 @@ let schedule_delivery t ~src ~dst msg =
       floor
     end
   in
-  ignore (Engine.schedule_at t.engine arrive (deliver t ~src ~dst msg))
+  (* The delivery event needs its own engine seq (to deregister from the
+     in-flight registry), which the engine only assigns at scheduling
+     time — tie the knot with a cell. *)
+  let seq = ref (-1) in
+  let ev =
+    Engine.schedule_at
+      ~label:(Engine.Delivery { src; dst })
+      t.engine arrive
+      (fun () -> deliver t ~src ~dst ~seq:!seq msg ())
+  in
+  seq := Engine.event_seq ev;
+  Hashtbl.replace t.in_flight !seq (src, dst, msg)
 
 let send t ~src ~dst msg =
   check_node t src;
@@ -150,7 +166,28 @@ let broadcast t ~src msg =
     if dst <> src then send t ~src ~dst msg
   done
 
+let in_flight t =
+  Hashtbl.fold (fun seq (src, dst, msg) acc -> (seq, src, dst, msg) :: acc)
+    t.in_flight []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b)
+
+let find_in_flight t ~seq = Hashtbl.find_opt t.in_flight seq
+
 let stats t = t.stats
+
+let dump t ~msg =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (Printf.sprintf "sent=%d;del=%d;dl=%d;dp=%d;dup=%d|" t.stats.sent
+       t.stats.delivered t.stats.dropped_link t.stats.dropped_partition
+       t.stats.duplicated);
+  List.iter
+    (fun (_, src, dst, m) ->
+      (* Send order, seq itself left out: engine seqs differ across
+         explorer branches that reach the same abstract state. *)
+      Buffer.add_string b (Printf.sprintf "%d>%d:%s;" src dst (msg m)))
+    (in_flight t);
+  Buffer.contents b
 
 let reset_stats t =
   t.stats.sent <- 0;

@@ -69,6 +69,18 @@ val send : 'msg t -> src:node_id -> dst:node_id -> 'msg -> unit
 val broadcast : 'msg t -> src:node_id -> 'msg -> unit
 (** Send to every node except [src]. *)
 
+val in_flight : 'msg t -> (int * node_id * node_id * 'msg) list
+(** Messages scheduled for delivery but not yet delivered, as
+    [(event_seq, src, dst, msg)] sorted by send order ([event_seq]).
+    Delivery events are labelled [Engine.Delivery]; the seq here matches
+    {!Rt_sim.Engine.frontier}, which is how the schedule explorer maps a
+    frontier entry back to the message it would deliver.  Messages lost
+    to a partition at delivery time still appear until their event
+    fires. *)
+
+val find_in_flight : 'msg t -> seq:int -> (node_id * node_id * 'msg) option
+(** The in-flight message whose delivery event has the given seq. *)
+
 (** Exact tallies for experiment reporting. *)
 module Stats : sig
   type t = {
@@ -87,3 +99,8 @@ end
 val stats : 'msg t -> Stats.t
 
 val reset_stats : 'msg t -> unit
+
+val dump : 'msg t -> msg:('msg -> string) -> string
+(** Canonical rendering of the network's mutable state — delivery
+    tallies plus in-flight messages in send order (engine seqs
+    excluded) — for state fingerprints. *)

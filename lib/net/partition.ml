@@ -2,6 +2,7 @@ type node_id = int
 
 type t = {
   component : int array;
+  (* rt_lint: allow fingerprint-coverage -- fault-injection topology set by the harness, constant along every explored branch *)
   mutable next_component : int;
   (* Directed severed edges (src, dst): src's messages to dst are lost
      even inside a component.  Symmetric partitions stay in the component

@@ -1,6 +1,13 @@
+type label =
+  | Internal of int
+  | Delivery of { src : int; dst : int }
+  | Timer of { site : int; name : string }
+  | Recurring of { site : int; name : string }
+
 type event = {
   fire_at : Time.t;
   seq : int;
+  label : label;
   thunk : unit -> unit;
   mutable cancelled : bool;
 }
@@ -41,16 +48,53 @@ let crash_hook_installed t = t.crash_hook <> None
 let crash_point t ~site ~point =
   match t.crash_hook with None -> () | Some f -> f ~site ~point
 
-let schedule_at t when_ thunk =
+let schedule_at ?(label = Internal (-1)) t when_ thunk =
   let fire_at = Time.max when_ t.clock in
-  let ev = { fire_at; seq = t.next_seq; thunk; cancelled = false } in
+  let ev = { fire_at; seq = t.next_seq; label; thunk; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.queue ev;
   ev
 
-let schedule_after t delay thunk = schedule_at t (Time.add t.clock delay) thunk
+let schedule_after ?label t delay thunk =
+  schedule_at ?label t (Time.add t.clock delay) thunk
+
 let cancel _t ev = ev.cancelled <- true
 let pending t = Heap.length t.queue
+
+let event_seq (ev : event_id) = ev.seq
+let event_label (ev : event_id) = ev.label
+
+let frontier t =
+  Heap.fold
+    (fun acc ev ->
+      if ev.cancelled then acc else (ev.seq, ev.fire_at, ev.label) :: acc)
+    [] t.queue
+  |> List.sort (fun (s1, t1, _) (s2, t2, _) ->
+         let c = Time.compare t1 t2 in
+         if c <> 0 then c else Int.compare s1 s2)
+
+let fire t seq =
+  (* Remove the event with the given seq from the heap (heap order does
+     not support keyed removal, so drain-and-refill), then run it as if
+     it were next: the clock only ever moves forward, so firing an event
+     "early" models the permitted asynchrony — other pending events will
+     simply fire late. *)
+  let rec drain acc =
+    match Heap.pop t.queue with
+    | None -> (None, acc)
+    | Some ev when ev.seq = seq -> (Some ev, acc)
+    | Some ev -> drain (ev :: acc)
+  in
+  let found, rest = drain [] in
+  List.iter (Heap.push t.queue) rest;
+  match found with
+  | None -> false
+  | Some ev when ev.cancelled -> false
+  | Some ev ->
+      t.clock <- Time.max t.clock ev.fire_at;
+      t.n_processed <- t.n_processed + 1;
+      ev.thunk ();
+      true
 
 let live_pending t =
   Heap.fold (fun acc ev -> if ev.cancelled then acc else acc + 1) 0 t.queue

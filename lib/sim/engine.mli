@@ -11,6 +11,27 @@ type t
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
+(** {2 Event labels}
+
+    Every event carries a label describing what firing it means, so a
+    schedule explorer can enumerate the pending frontier and decide which
+    admissible event to fire next instead of following timestamp order.
+    Labels are free for normal runs — {!run} and {!step} ignore them.
+
+    - [Internal site]: a glue step (zero-delay continuation, local
+      loopback, device completion plumbing) that is not an independent
+      scheduling choice; [-1] means "no owning site".  The default.
+    - [Delivery]: a network message arrival at [dst].
+    - [Timer]: a one-shot timeout whose early/late firing is a real
+      protocol schedule (resend, vote-collect, lock-wait, recovery).
+    - [Recurring]: a self-re-arming background activity (heartbeats);
+      explorers skip these or the frontier never drains. *)
+type label =
+  | Internal of int
+  | Delivery of { src : int; dst : int }
+  | Timer of { site : int; name : string }
+  | Recurring of { site : int; name : string }
+
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes an engine whose root RNG is seeded with [seed]
     (default 0). *)
@@ -22,12 +43,31 @@ val rng : t -> Rng.t
 (** The engine's root RNG.  Components should [Rng.split] it at setup time
     rather than drawing from it during the run. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+val schedule_at : ?label:label -> t -> Time.t -> (unit -> unit) -> event_id
 (** [schedule_at t when_ f] runs [f] at virtual time [when_].  If [when_] is
-    in the past, the event fires at the current time. *)
+    in the past, the event fires at the current time.  [label] defaults to
+    [Internal (-1)]. *)
 
-val schedule_after : t -> Time.t -> (unit -> unit) -> event_id
+val schedule_after : ?label:label -> t -> Time.t -> (unit -> unit) -> event_id
 (** [schedule_after t delay f] runs [f] [delay] after the current time. *)
+
+val event_seq : event_id -> int
+(** The event's scheduling sequence number — unique per engine, assigned
+    at scheduling time, and therefore stable across replays that share
+    the same execution prefix.  Explorers use it as the event's identity. *)
+
+val event_label : event_id -> label
+
+val frontier : t -> (int * Time.t * label) list
+(** Live (non-cancelled) pending events as [(seq, fire_at, label)],
+    sorted by [(fire_at, seq)] — the order {!run} would fire them in. *)
+
+val fire : t -> int -> bool
+(** [fire t seq] executes the pending event with the given sequence
+    number {e now}, regardless of its timestamp: the clock advances to
+    [max now fire_at] and the thunk runs.  This is the explorer's
+    primitive for realising one admissible reordering of the frontier.
+    Returns [false] (and fires nothing) if no live event has that seq. *)
 
 val cancel : t -> event_id -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)

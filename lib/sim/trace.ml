@@ -2,6 +2,7 @@ let src = Logs.Src.create "rt.sim" ~doc:"Replicated-transaction simulator"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* rt_lint: allow no-toplevel-mutable-state -- process-wide logging toggle; affects diagnostics only, never simulation behaviour *)
 let flag = ref false
 let enabled () = !flag
 let set_enabled b = flag := b

@@ -49,3 +49,21 @@ let restore_latest t kv =
       lsn
 
 let count t = t.taken
+
+let dump t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "taken=%d;" t.taken);
+  (match t.snapshot with
+  | None -> Buffer.add_string b "none"
+  | Some (shards, lsn) ->
+      Buffer.add_string b (Printf.sprintf "lsn=%d;" lsn);
+      List.iter
+        (fun (shard, entries) ->
+          Buffer.add_string b (Printf.sprintf "s%d{" shard);
+          List.iter
+            (fun (k, { Kv.value; version }) ->
+              Buffer.add_string b (Printf.sprintf "%s=%s@%d;" k value version))
+            entries;
+          Buffer.add_char b '}')
+        shards);
+  Buffer.contents b

@@ -38,3 +38,7 @@ val restore_latest : t -> Kv.t -> Wal.lsn
 
 val count : t -> int
 (** Checkpoints taken so far. *)
+
+val dump : t -> string
+(** Canonical rendering (take count, LSN, per-shard entries in shard and
+    key order), for state fingerprints. *)

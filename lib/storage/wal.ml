@@ -72,8 +72,15 @@ let rec start_device_cycle t =
   t.forces <- t.forces + 1;
   let target = tail_lsn t in
   let epoch = t.epoch in
+  (* Device completion is a real scheduling choice for an explorer: its
+     ordering against message deliveries decides which records survive a
+     crash.  Anonymous logs stay internal. *)
+  let label =
+    if t.owner >= 0 then Engine.Timer { site = t.owner; name = "wal-device" }
+    else Engine.Internal (-1)
+  in
   ignore
-    (Engine.schedule_after t.engine t.force_latency (fun () ->
+    (Engine.schedule_after ~label t.engine t.force_latency (fun () ->
          if t.epoch = epoch then begin
            t.device_busy <- false;
            if target > t.durable then t.durable <- target;
@@ -90,7 +97,9 @@ let rec start_device_cycle t =
 let force t ?upto k =
   let upto = Option.value upto ~default:(tail_lsn t) in
   if upto <= t.durable then
-    ignore (Engine.schedule_after t.engine Time.zero (fun () -> k ()))
+    ignore
+      (Engine.schedule_after ~label:(Engine.Internal t.owner) t.engine
+         Time.zero (fun () -> k ()))
   else if
     (* Crash here: the forced records are still volatile and are lost. *)
     reach_crash_point t "wal:force-volatile"
@@ -112,6 +121,19 @@ let records_from t ~count =
 
 let durable_records t = records_from t ~count:(max 0 (t.durable - t.base))
 let all_records t = records_from t ~count:t.size
+
+let dump t ~record =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "base=%d durable=%d busy=%b;" t.base t.durable
+       t.device_busy);
+  for i = 0 to t.size - 1 do
+    let lsn = t.base + i + 1 in
+    let tag = if lsn <= t.durable then 'D' else 'v' in
+    Buffer.add_string buf
+      (Printf.sprintf "%c%d:%s;" tag lsn (record t.records.(i)))
+  done;
+  Buffer.contents buf
 
 let truncate t ~upto =
   if upto > t.durable then invalid_arg "Wal.truncate: beyond durable point";

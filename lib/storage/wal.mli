@@ -57,3 +57,9 @@ val length : 'r t -> int
 
 val force_count : 'r t -> int
 (** Device force cycles completed so far (the forced-write cost measure). *)
+
+val dump : 'r t -> record:('r -> string) -> string
+(** Canonical rendering of the log state for structural fingerprinting:
+    truncation base, durable point, device business, then every retained
+    record in LSN order tagged [D] (durable) or [v] (volatile).  Two logs
+    with the same dump behave identically under crash and recovery. *)

@@ -546,6 +546,173 @@ let test_qc_coordinator_commits_at_quorum () =
   Alcotest.(check bool) "decided" true
     (Quorum_commit.coord_decision c = Some Commit)
 
+(* --- explorer-found regressions ----------------------------------------- *)
+
+(* Walk a fresh QC participant to [B_uncertain]. *)
+let qc_uncertain ~config ~self ~coordinator =
+  let p =
+    Quorum_commit.participant ~config ~self ~coordinator ~vote:true ~timeouts
+  in
+  let p, _ = Quorum_commit.part_step p (Recv (coordinator, Vote_req)) in
+  let p, _ = Quorum_commit.part_step p (Log_done L_prepared) in
+  p
+
+(* Explorer counterexample: one pre-committed survivor plus rival
+   pre-aborted reports.  The termination rule must count potential
+   quorums (pre-decided-our-way plus uncertain) instead of demanding the
+   rival set be empty — the old rule matched neither branch here and the
+   group re-elected leaders forever. *)
+let test_qc_leader_mixed_reports_commit () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  (* Vc = Va = 2.  Self (site 0) is uncertain and lowest-id, so its
+     decision timeout elects it leader. *)
+  let p = qc_uncertain ~config ~self:0 ~coordinator:1 in
+  let p, actions = Quorum_commit.part_step p (Timeout T_decision) in
+  Alcotest.(check (list action)) "election: collect states at epoch (1,0)"
+    [ Send (1, Pq_state_req (1, 0)); Send (2, Pq_state_req (1, 0));
+      Set_timer (T_state, timeouts.decision_wait) ]
+    actions;
+  let p, actions =
+    Quorum_commit.part_step p (Recv (1, Pq_state_report ((1, 0), P_precommitted)))
+  in
+  Alcotest.(check (list action)) "still collecting" [] actions;
+  (* Mixed picture: 1 pre-committed, 2 pre-aborted, self uncertain.
+     |PC ∪ uncertain| = 2 ≥ Vc with a pre-committed witness, so the
+     leader drives itself to pre-commit (commit takes precedence). *)
+  let p, actions =
+    Quorum_commit.part_step p (Recv (2, Pq_state_report ((1, 0), P_preaborted)))
+  in
+  Alcotest.(check (list action)) "drive commit through self"
+    [ Set_timer (T_precommit_ack, timeouts.decision_wait);
+      Log (L_precommit, `Forced) ]
+    actions;
+  (* Self pre-committed makes |PC| = 2 = Vc: decide. *)
+  let p, actions = Quorum_commit.part_step p (Log_done L_precommit) in
+  Alcotest.(check (list action)) "commit at quorum"
+    [ Clear_timer T_decision; Clear_timer T_resend; Clear_timer T_state;
+      Clear_timer T_precommit_ack; Log (L_decision Commit, `Forced) ]
+    actions;
+  let p, actions = Quorum_commit.part_step p (Log_done (L_decision Commit)) in
+  Alcotest.(check (list action)) "leader distributes"
+    [ Send (1, Decision_msg Commit); Send (2, Decision_msg Commit);
+      Deliver Commit ]
+    actions;
+  Alcotest.(check bool) "decided commit" true
+    (Quorum_commit.part_decision p = Some Commit)
+
+let test_qc_leader_mixed_reports_abort () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  (* Self (site 0) reaches pre-abort under the original coordinator. *)
+  let p = qc_uncertain ~config ~self:0 ~coordinator:1 in
+  let p, _ = Quorum_commit.part_step p (Recv (1, Pq_preabort (0, 1))) in
+  let p, _ = Quorum_commit.part_step p (Log_done L_preabort) in
+  let p, _ = Quorum_commit.part_step p (Timeout T_decision) in
+  let p, _ =
+    Quorum_commit.part_step p (Recv (1, Pq_state_report ((1, 0), P_precommitted)))
+  in
+  (* 1 pre-committed vs 2 pre-aborted, nobody uncertain: the commit side
+     cannot reach Vc = 2, the abort side holds Va = 2 already.  The old
+     "rival set must be empty" rule blocked here. *)
+  let p, actions =
+    Quorum_commit.part_step p (Recv (2, Pq_state_report ((1, 0), P_preaborted)))
+  in
+  Alcotest.(check (list action)) "abort at quorum"
+    [ Clear_timer T_decision; Clear_timer T_resend; Clear_timer T_state;
+      Clear_timer T_precommit_ack; Log (L_decision Abort, `Forced) ]
+    actions;
+  let p, _ = Quorum_commit.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check bool) "decided abort" true
+    (Quorum_commit.part_decision p = Some Abort)
+
+(* Explorer counterexample: the presumptive leader (lowest-id site)
+   crashed before its prepared record became durable and recovered with
+   no memory of the transaction.  It answers [Decision_unknown]; the
+   followers waited for its election forever.  The asker must usurp. *)
+let test_qc_usurps_amnesiac_leader () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  let p = qc_uncertain ~config ~self:1 ~coordinator:0 in
+  let p, actions = Quorum_commit.part_step p (Recv (0, Decision_unknown)) in
+  Alcotest.(check (list action)) "usurps: collects states itself"
+    [ Send (0, Pq_state_req (1, 1)); Send (2, Pq_state_req (1, 1));
+      Set_timer (T_state, timeouts.decision_wait) ]
+    actions;
+  ignore p;
+  (* "Unknown" from a higher-id peer is not an election cue. *)
+  let p = qc_uncertain ~config ~self:1 ~coordinator:0 in
+  let _, actions = Quorum_commit.part_step p (Recv (2, Decision_unknown)) in
+  Alcotest.(check (list action)) "non-leader unknown ignored" [] actions
+
+(* [Decision_unknown] is reserved for memoryless sites: anyone holding
+   live protocol state for the transaction stays silent on
+   [Decision_req], or answers with the decision once it has one. *)
+let test_qc_live_state_silent_on_decision_req () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  let p = qc_uncertain ~config ~self:1 ~coordinator:0 in
+  let p, actions = Quorum_commit.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "uncertain participant silent" [] actions;
+  let p, _ = Quorum_commit.part_step p (Recv (0, Decision_msg Abort)) in
+  let p, _ = Quorum_commit.part_step p (Log_done (L_decision Abort)) in
+  let _, actions = Quorum_commit.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "finished participant answers"
+    [ Send (2, Decision_msg Abort) ]
+    actions;
+  let c = Quorum_commit.coordinator ~config ~self:0 ~timeouts in
+  let c, _ = Quorum_commit.coord_step c Start in
+  let _, actions = Quorum_commit.coord_step c (Recv (1, Decision_req)) in
+  Alcotest.(check (list action)) "undecided coordinator silent" [] actions
+
+(* Explorer counterexample: a leader elected during a coordinator outage
+   decides while the coordinator is still collecting precommit acks; the
+   participants fence the coordinator's stale epoch, so without adoption
+   it resends [Pq_precommit] forever and never delivers to its client. *)
+let test_qc_deposed_coordinator_adopts_decision () =
+  let config = Quorum_commit.config ~all:[ 0; 1; 2 ] () in
+  let c = Quorum_commit.coordinator ~config ~self:0 ~timeouts in
+  let c, _ = Quorum_commit.coord_step c Start in
+  let c, actions = Quorum_commit.coord_step c (Recv (1, Decision_msg Abort)) in
+  Alcotest.(check (list action)) "adopts the rival decision"
+    [ Clear_timer T_votes; Clear_timer T_precommit_ack; Clear_timer T_resend;
+      Deliver Abort; Log (L_decision Abort, `Lazy) ]
+    actions;
+  Alcotest.(check bool) "decided" true
+    (Quorum_commit.coord_decision c = Some Abort)
+
+(* 3PC flavour of the amnesiac-leader usurpation, driven to completion:
+   the recovered memoryless site pledges abort in its state report, so
+   the usurper terminates the whole group. *)
+let test_3pc_usurps_amnesiac_leader () =
+  let all = [ 0; 1; 2 ] in
+  let p = Three_pc.participant ~self:1 ~coordinator:0 ~all ~vote:true ~timeouts in
+  let p, _ = Three_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Three_pc.part_step p (Log_done L_prepared) in
+  let p, actions = Three_pc.part_step p (Recv (0, Decision_unknown)) in
+  Alcotest.(check (list action)) "usurps: collects states"
+    [ Send (0, State_req); Send (2, State_req);
+      Set_timer (T_state, timeouts.decision_wait) ]
+    actions;
+  let p, actions = Three_pc.part_step p (Recv (0, State_report P_aborted)) in
+  Alcotest.(check (list action)) "collecting" [] actions;
+  let p, actions = Three_pc.part_step p (Recv (2, State_report P_uncertain)) in
+  Alcotest.(check (list action)) "amnesiac pledge decides abort"
+    [ Clear_timer T_decision; Clear_timer T_resend; Clear_timer T_state;
+      Clear_timer T_precommit_ack; Log (L_decision Abort, `Forced) ]
+    actions;
+  let p, _ = Three_pc.part_step p (Log_done (L_decision Abort)) in
+  Alcotest.(check bool) "decided abort" true
+    (Three_pc.part_decision p = Some Abort)
+
+let test_3pc_live_state_silent_on_decision_req () =
+  let all = [ 0; 1; 2 ] in
+  let p = Three_pc.participant ~self:1 ~coordinator:0 ~all ~vote:true ~timeouts in
+  let p, _ = Three_pc.part_step p (Recv (0, Vote_req)) in
+  let p, _ = Three_pc.part_step p (Log_done L_prepared) in
+  let _, actions = Three_pc.part_step p (Recv (2, Decision_req)) in
+  Alcotest.(check (list action)) "uncertain participant silent" [] actions;
+  let c = Three_pc.coordinator ~participants:[ 1; 2 ] ~timeouts in
+  let c, _ = Three_pc.coord_step c Start in
+  let _, actions = Three_pc.coord_step c (Recv (1, Decision_req)) in
+  Alcotest.(check (list action)) "undecided coordinator silent" [] actions
+
 let () =
   Alcotest.run "commit-steps"
     [
@@ -603,6 +770,23 @@ let () =
             test_3pc_precommitted_reacks_duplicate_precommit;
           Alcotest.test_case "finished re-acks resent decision" `Quick
             test_3pc_finished_reacks_resent_decision;
+        ] );
+      ( "explorer-regressions",
+        [
+          Alcotest.test_case "QC mixed reports commit" `Quick
+            test_qc_leader_mixed_reports_commit;
+          Alcotest.test_case "QC mixed reports abort" `Quick
+            test_qc_leader_mixed_reports_abort;
+          Alcotest.test_case "QC usurps amnesiac leader" `Quick
+            test_qc_usurps_amnesiac_leader;
+          Alcotest.test_case "QC live state silent on decision-req" `Quick
+            test_qc_live_state_silent_on_decision_req;
+          Alcotest.test_case "QC deposed coordinator adopts" `Quick
+            test_qc_deposed_coordinator_adopts_decision;
+          Alcotest.test_case "3PC usurps amnesiac leader" `Quick
+            test_3pc_usurps_amnesiac_leader;
+          Alcotest.test_case "3PC live state silent on decision-req" `Quick
+            test_3pc_live_state_silent_on_decision_req;
         ] );
       ( "quorum-commit",
         [

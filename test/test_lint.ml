@@ -192,6 +192,86 @@ let test_mli_suppressed () =
       Alcotest.(check int) "allow-file honoured" 0
         (List.length (D.lint_file ~rules:(rules_of "mli-coverage") ml)))
 
+(* --- no-toplevel-mutable-state ----------------------------------------- *)
+
+let test_toplevel_state_match () =
+  flags "no-toplevel-mutable-state" "let table = Hashtbl.create 8";
+  flags "no-toplevel-mutable-state" "let flag = ref false";
+  (* Nested module-level lets are still initialization-time. *)
+  flags "no-toplevel-mutable-state"
+    "let cell = let base = 2 in ref base"
+
+let test_toplevel_state_no_match () =
+  (* Constructors under a lambda are per-call state. *)
+  clean "no-toplevel-mutable-state" "let make () = ref false";
+  clean "no-toplevel-mutable-state" "let create n = Hashtbl.create n";
+  (* Outside lib/ the rule does not apply. *)
+  clean ~file:"bin/soak.ml" "no-toplevel-mutable-state"
+    "let table = Hashtbl.create 8"
+
+let test_toplevel_state_suppressed () =
+  clean "no-toplevel-mutable-state"
+    "(* rt_lint: allow no-toplevel-mutable-state -- debug tap *)\n\
+     let flag = ref false"
+
+(* --- fingerprint-coverage ---------------------------------------------- *)
+
+(* The rule consults the companion .mli on disk, so fixtures need a real
+   file pair under a lib/core path. *)
+let with_fp_module ~mli ~src f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "rt_lint_test_fp"
+  in
+  let libdir = Filename.concat dir "lib" in
+  let coredir = Filename.concat libdir "core" in
+  List.iter
+    (fun d -> try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    [ dir; libdir; coredir ];
+  let ml = Filename.concat coredir "fixture.ml" in
+  let write path s =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  in
+  write ml src;
+  write (ml ^ "i") mli;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ ml; ml ^ "i" ])
+    (fun () -> f ml)
+
+let fp_count ~mli ~src =
+  with_fp_module ~mli ~src (fun ml ->
+      List.length (D.lint_file ~rules:(rules_of "fingerprint-coverage") ml))
+
+let test_fingerprint_match () =
+  Alcotest.(check int) "mutable field, no renderer" 1
+    (fp_count ~mli:"type t\n"
+       ~src:"type t = { mutable count : int }\nlet create () = { count = 0 }\n")
+
+let test_fingerprint_no_match () =
+  Alcotest.(check int) "dump exported" 0
+    (fp_count ~mli:"type t\n\nval dump : t -> string\n"
+       ~src:"type t = { mutable count : int }\nlet dump _ = \"\"\n");
+  Alcotest.(check int) "immutable record" 0
+    (fp_count ~mli:"type t\n" ~src:"type t = { count : int }\n");
+  (* Outside the explorer's state surface the rule does not apply. *)
+  Alcotest.(check int) "out of scope" 0
+    (List.length
+       (D.lint_source
+          ~rules:(rules_of "fingerprint-coverage")
+          ~file:"lib/workload/fixture.ml"
+          "type t = { mutable count : int }"))
+
+let test_fingerprint_suppressed () =
+  Alcotest.(check int) "annotated" 0
+    (fp_count ~mli:"type t\n"
+       ~src:
+         "type t = {\n\
+          \  (* rt_lint: allow fingerprint-coverage -- driver tallies *)\n\
+          \  mutable count : int;\n\
+          }\n")
+
 (* --- driver glue ------------------------------------------------------- *)
 
 let test_finding_positions () =
@@ -262,6 +342,18 @@ let () =
           Alcotest.test_case "match" `Quick test_mli_match;
           Alcotest.test_case "no match" `Quick test_mli_no_match;
           Alcotest.test_case "suppressed" `Quick test_mli_suppressed;
+        ] );
+      ( "no-toplevel-mutable-state",
+        [
+          Alcotest.test_case "match" `Quick test_toplevel_state_match;
+          Alcotest.test_case "no match" `Quick test_toplevel_state_no_match;
+          Alcotest.test_case "suppressed" `Quick test_toplevel_state_suppressed;
+        ] );
+      ( "fingerprint-coverage",
+        [
+          Alcotest.test_case "match" `Quick test_fingerprint_match;
+          Alcotest.test_case "no match" `Quick test_fingerprint_no_match;
+          Alcotest.test_case "suppressed" `Quick test_fingerprint_suppressed;
         ] );
       ( "driver",
         [

@@ -10,6 +10,8 @@ let all_rules : (module Rule.S) list =
     (module Rule_det_iter);
     (module Rule_catch_all);
     (module Rule_mli);
+    (module Rule_toplevel_state);
+    (module Rule_fingerprint);
   ]
 
 let rule_names rules =

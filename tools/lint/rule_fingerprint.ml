@@ -1,0 +1,93 @@
+(* fingerprint-coverage: the schedule explorer dedups states by a
+   canonical fingerprint composed from module dumps.  A module in the
+   explorer's state surface (lib/{core,storage,lock,net,commit}) that
+   declares mutable record fields but exports no canonical rendering is
+   a hole in that fingerprint: two abstract states can differ only in
+   the hidden fields, alias under the digest, and let the explorer
+   unsoundly prune a schedule that reaches new behaviour.
+
+   The rule fires when the .ml declares a record type with a [mutable]
+   field and the companion .mli exists but exposes none of
+   [val dump] / [val fingerprint] / [val snapshot].  Modules whose
+   mutable state is genuinely outside the explored surface (fault
+   injectors, client drivers) annotate the declaration with the reason.
+   Missing .mli files are mli-coverage's business, not this rule's. *)
+
+open Parsetree
+
+let name = "fingerprint-coverage"
+
+let doc =
+  "Modules under lib/{core,storage,lock,net,commit} that declare \
+   mutable record fields must export val dump/fingerprint/snapshot in \
+   their .mli so the schedule explorer's state digest can see the \
+   state.  Annotate modules whose mutable state is not part of the \
+   explored surface."
+
+let scope_dirs = [ "core"; "storage"; "lock"; "net"; "commit" ]
+
+let in_scope file =
+  Helpers.has_segment "lib" file
+  && List.exists (fun d -> Helpers.has_segment d file) scope_dirs
+
+let exported_renderers = [ "dump"; "fingerprint"; "snapshot" ]
+
+(* Textual scan of the interface for [val dump], [val dump :], etc.
+   Good enough for an .mli: a val item is the only place these tokens
+   appear at the start of a declaration. *)
+let mli_exposes_renderer mli_file =
+  let source = In_channel.with_open_bin mli_file In_channel.input_all in
+  List.exists
+    (fun v ->
+      let needle = "val " ^ v in
+      let n = String.length source and m = String.length needle in
+      let rec at i =
+        if i + m > n then false
+        else if
+          String.sub source i m = needle
+          && (i + m = n
+             ||
+             let c = source.[i + m] in
+             c = ' ' || c = ':' || c = '\n')
+        then true
+        else at (i + 1)
+      in
+      at 0)
+    exported_renderers
+
+let check (ctx : Rule.ctx) structure =
+  let mli = ctx.file ^ "i" in
+  if
+    (not (in_scope ctx.file))
+    || (not (Sys.file_exists mli))
+    || mli_exposes_renderer mli
+  then []
+  else begin
+    let findings = ref [] in
+    let type_declaration self (td : type_declaration) =
+      (match td.ptype_kind with
+      | Ptype_record labels ->
+          List.iter
+            (fun (ld : label_declaration) ->
+              if ld.pld_mutable = Asttypes.Mutable && !findings = [] then
+                findings :=
+                  [
+                    Finding.make ~rule:name ~loc:ld.pld_loc
+                      ~message:
+                        (Printf.sprintf
+                           "mutable field %s but %s exports no val \
+                            dump/fingerprint/snapshot; hidden mutable state \
+                            aliases distinct explorer states under one \
+                            digest — export a canonical rendering or \
+                            annotate why this state is outside the explored \
+                            surface"
+                           ld.pld_name.txt (Filename.basename mli));
+                  ])
+            labels
+      | _ -> ());
+      Ast_iterator.default_iterator.type_declaration self td
+    in
+    let it = { Ast_iterator.default_iterator with type_declaration } in
+    it.structure it structure;
+    !findings
+  end

@@ -1,0 +1,91 @@
+(* no-toplevel-mutable-state: a ref cell or mutable container created at
+   module initialization time is process-global — it outlives every
+   cluster the process builds.  The schedule explorer re-executes a
+   fresh cluster per decision trail and assumes the only mutable state
+   is what the cluster owns (and what the state fingerprint can see);
+   a module-level table or flag silently couples executions and makes
+   replay divergent.  Scope the state inside [create ()], or annotate a
+   deliberate process-wide debug tap with the reason it cannot leak
+   into simulation behaviour.
+
+   The rule is syntactic: it flags applications of known mutable-state
+   constructors ([ref], [Hashtbl.create], [Queue.create], ...) in
+   module-level code — anything not under a [fun]/[function] or functor
+   body, including nested [let]s, [Pstr_eval] initializers, and inner
+   [struct]s.  Constructors inside lambdas are per-call state and fine. *)
+
+open Parsetree
+
+let name = "no-toplevel-mutable-state"
+
+let doc =
+  "Flags ref/Hashtbl.create/Queue.create/... applied at module \
+   initialization time in lib/ (outside any function or functor body): \
+   process-global mutable state leaks across the replay-based \
+   explorer's executions and escapes state fingerprints.  Scope it in \
+   a constructor or annotate the debug tap."
+
+let creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Atomic"; "make" ];
+    [ "Dynarray"; "create" ];
+  ]
+
+let is_creator e =
+  match Helpers.ident_path e with
+  | Some p -> List.mem p creators
+  | None -> false
+
+let check (ctx : Rule.ctx) structure =
+  if not (Helpers.has_segment "lib" ctx.file) then []
+  else begin
+    let findings = ref [] in
+    let depth = ref 0 in
+    let expr self e =
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ ->
+          incr depth;
+          Ast_iterator.default_iterator.expr self e;
+          decr depth
+      | Pexp_apply (f, _) when !depth = 0 && is_creator f ->
+          let path =
+            match Helpers.ident_path f with
+            | Some p -> Helpers.string_of_path p
+            | None -> "?"
+          in
+          findings :=
+            Finding.make ~rule:name ~loc:e.pexp_loc
+              ~message:
+                (Printf.sprintf
+                   "%s at module initialization creates process-global \
+                    mutable state; it outlives every simulated cluster, \
+                    leaks across replayed executions, and is invisible to \
+                    state fingerprints — scope it inside a constructor or \
+                    annotate the debug tap"
+                   path)
+            :: !findings;
+          Ast_iterator.default_iterator.expr self e
+      | _ -> Ast_iterator.default_iterator.expr self e
+    in
+    let module_expr self m =
+      match m.pmod_desc with
+      | Pmod_functor _ ->
+          (* A functor body runs per application, like a function. *)
+          incr depth;
+          Ast_iterator.default_iterator.module_expr self m;
+          decr depth
+      | _ -> Ast_iterator.default_iterator.module_expr self m
+    in
+    let it = { Ast_iterator.default_iterator with expr; module_expr } in
+    it.structure it structure;
+    !findings
+  end
