@@ -15,9 +15,16 @@ bench:
 	dune exec bench/main.exe
 
 # Deterministic machine-readable metrics snapshot: writes BENCH_<n>.json
-# (next free index) with fixed field order; CI uploads it as an artifact.
+# (highest existing index + 1) with fixed field order; CI uploads it as
+# an artifact.
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# Perf gate: regenerate the snapshot and diff it against the highest
+# committed BENCH_<n>.json.  Fails on a >20%% committed/s regression on
+# any probe both files share; prints a warning table otherwise.
+bench-diff: bench-json
+	dune exec tools/bench_diff.exe
 
 # Exhaustive crash-recovery fault injection (see docs/RECOVERY.md).
 # Exits non-zero when any invariant violation is found.

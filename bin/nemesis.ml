@@ -123,6 +123,22 @@ let run seed sites clients duration_ms rc_name scenario_names experiment =
             let results =
               Campaign.run ~seed ~sites ~clients ~duration ~rc ~scenarios ()
             in
+            (* Same matrix again over full replication with WAL group
+               commit and link batching on: envelope-level loss, dup and
+               sever faults and the flush-window timers must uphold the
+               same invariants. *)
+            let batched =
+              Campaign.run ~seed ~sites ~clients ~duration ~rc ~scenarios
+                ~tune:(fun c ->
+                  {
+                    c with
+                    Rt_core.Config.group_commit_window = Rt_sim.Time.us 20;
+                    batch_window = Some (Rt_sim.Time.us 10);
+                  })
+                ~placements:[ ("full+gcb", None) ]
+                ()
+            in
+            let results = results @ batched in
             print_string (Campaign.render results);
             Campaign.total_violations results
       in

@@ -72,7 +72,25 @@ let site_hygiene cluster =
       let pt = Site.pending_protocol_timers s in
       if pt > 0 then
         add "timers"
-          (Printf.sprintf "site %d: %d protocol timers still pending" id pt))
+          (Printf.sprintf "site %d: %d protocol timers still pending" id pt);
+      (* WAL group-commit accounting must be crash-consistent: every
+         device cycle ever started either completed or was lost to a
+         crash (the device cannot still be busy at quiescence), and no
+         force continuation is left waiting on a live site. *)
+      let ws = Site.wal_stats s in
+      if ws.Rt_storage.Wal.st_started
+         <> ws.Rt_storage.Wal.st_completed + ws.Rt_storage.Wal.st_lost
+      then
+        add "wal-stats"
+          (Printf.sprintf
+             "site %d: force cycles unaccounted (started=%d completed=%d \
+              lost=%d)"
+             id ws.Rt_storage.Wal.st_started ws.Rt_storage.Wal.st_completed
+             ws.Rt_storage.Wal.st_lost);
+      if ws.Rt_storage.Wal.st_pending > 0 then
+        add "wal-stats"
+          (Printf.sprintf "site %d: %d force continuations still waiting" id
+             ws.Rt_storage.Wal.st_pending))
     (Cluster.sites cluster);
   List.rev !out
 

@@ -14,7 +14,8 @@ let create ?engine config =
     match engine with Some e -> e | None -> Engine.create ~seed:config.seed ()
   in
   let net =
-    Rt_net.Net.create engine ~nodes:config.sites ~default:config.link
+    Rt_net.Net.create ?batch:config.batch_window engine ~nodes:config.sites
+      ~default:config.link
   in
   let counters = Rt_metrics.Counter.create () in
   let sites =

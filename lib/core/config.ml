@@ -24,6 +24,8 @@ type t = {
   placement : Rt_placement.Placement.t option;
   link : Rt_net.Net.link;
   force_latency : Time.t;
+  group_commit_window : Time.t;
+  batch_window : Time.t option;
   lock_wait_timeout : Time.t;
   op_timeout : Time.t;
   commit_timeouts : Rt_commit.Protocol.timeouts;
@@ -50,6 +52,8 @@ let default ?(sites = 3) () =
       Rt_net.Net.reliable_link
         (Rt_net.Latency.Exponential { min = Time.us 20; mean = Time.us 100 });
     force_latency = Time.us 50;
+    group_commit_window = Time.zero;
+    batch_window = None;
     lock_wait_timeout = Time.ms 20;
     op_timeout = Time.ms 40;
     commit_timeouts =
@@ -84,6 +88,12 @@ let validate t =
       invalid_arg (Printf.sprintf "Config: %s must be non-negative" name)
   in
   non_negative "force_latency" t.force_latency;
+  non_negative "group_commit_window" t.group_commit_window;
+  (match t.batch_window with
+  | None -> ()
+  | Some w ->
+      if Rt_sim.Time.(w <= zero) then
+        invalid_arg "Config: batch_window must be positive when set");
   non_negative "lock_wait_timeout" t.lock_wait_timeout;
   non_negative "op_timeout" t.op_timeout;
   non_negative "commit_timeouts.vote_collect" t.commit_timeouts.vote_collect;

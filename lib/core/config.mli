@@ -31,6 +31,19 @@ type t = {
           protocol over the union of the touched shards' replica sets. *)
   link : Rt_net.Net.link;  (** Default link between every pair of sites. *)
   force_latency : Time.t;  (** Stable-storage force cost. *)
+  group_commit_window : Time.t;
+      (** WAL group-commit flush window: a force request arms a per-site
+          flush timer instead of starting the device immediately, so every
+          force arriving within the window shares one device cycle.  Zero
+          (the default) starts the device on the first force, which is the
+          classical per-transaction behaviour (busy-device coalescing
+          still applies either way). *)
+  batch_window : Time.t option;
+      (** Per-link message batching: messages to the same destination
+          within the window travel as one wire envelope (one latency
+          sample and one loss/duplication roll for the whole envelope,
+          FIFO unpack at delivery).  [None] (the default) sends every
+          message as its own envelope. *)
   lock_wait_timeout : Time.t;
       (** A lock request waiting longer than this is refused (distributed
           deadlocks resolve by timeout; local ones by cycle detection). *)

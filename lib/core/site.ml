@@ -116,6 +116,10 @@ type t = {
       (* Sites sharing at least one shard with us — the only ones that
          can answer a catch-up request.  Equals [others] under full
          replication. *)
+  (* rt_lint: allow fingerprint-coverage -- per-call scratch row for
+     [txn_scope]; fully overwritten before every read, carries no state
+     across events *)
+  scope_scratch : bool array;
   send_raw : dst:Ids.site_id -> Msg.t -> unit;
   counters : Counter.t;
   kv : Kv.t;
@@ -148,6 +152,7 @@ let is_up t = t.up
 let serving t = t.up && not t.catching
 let kv t = t.kv
 let wal_forces t = Wal.force_count t.wal
+let wal_stats t = Wal.stats t.wal
 let log_length t = Wal.length t.wal
 let latencies t = t.lat
 
@@ -234,10 +239,13 @@ let create ~engine ~id ~config ~send ~counters =
     site_ids;
     others = List.filter (fun s -> s <> id) site_ids;
     catchup_peers = Placement.co_replicas placement ~site:id;
+    scope_scratch = Array.make config.Config.sites false;
     send_raw = send;
     counters;
     kv = Kv.create ();
-    wal = Wal.create ~owner:id engine ~force_latency:config.force_latency ();
+    wal =
+      Wal.create ~owner:id ~group_window:config.Config.group_commit_window
+        engine ~force_latency:config.force_latency ();
     cp = Checkpoint.create ();
     locks = Lock.create ();
     to_table = Hashtbl.create 256;
@@ -892,16 +900,22 @@ let site_writes_for ctx dst =
 
 (* Every replica of every shard this transaction touched — the full set
    of copies the commit protocol is answerable for, including down ones
-   the plans skipped.  Under full replication this is all sites. *)
+   the plans skipped.  Under full replication this is all sites.  Built
+   by marking a dense per-site scratch row instead of folding set unions:
+   ascending index order yields the same sorted result. *)
 let txn_scope t ctx =
-  Sset.fold
-    (fun shard acc ->
-      List.fold_left
-        (fun acc s -> Sset.add s acc)
-        acc
+  let seen = t.scope_scratch in
+  Array.fill seen 0 (Array.length seen) false;
+  Sset.iter
+    (fun shard ->
+      List.iter (fun s -> seen.(s) <- true)
         (Placement.replicas t.placement ~shard))
-    ctx.co_shards Sset.empty
-  |> Sset.elements
+    ctx.co_shards;
+  let acc = ref [] in
+  for s = Array.length seen - 1 downto 0 do
+    if seen.(s) then acc := s :: !acc
+  done;
+  !acc
 
 let rec interpret_coord t ctx actions =
   List.iter

@@ -129,6 +129,11 @@ val preload : t -> entries:(string * string) list -> unit
     of a database that existed before the experiment. *)
 
 val wal_forces : t -> int
+(** Completed (crash-consistent) WAL device cycles. *)
+
+val wal_stats : t -> Rt_storage.Wal.stats
+(** Full device-cycle accounting; the sweep audit asserts its
+    crash-consistency invariant. *)
 
 val log_length : t -> int
 

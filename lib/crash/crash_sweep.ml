@@ -65,17 +65,37 @@ type placement_choice = Full | Sharded of Rt_placement.Placement.t | Skip
 type sweep_config = {
   cf_name : string;
   cf_choose : int -> placement_choice;
+  cf_tune : Config.t -> Config.t;
+      (* Knob adjustments applied after the base config is built — lets a
+         sweep variant turn on group commit or batching without a new
+         placement. *)
 }
 
 let default_configs =
   [
-    { cf_name = "full"; cf_choose = (fun _ -> Full) };
+    { cf_name = "full"; cf_choose = (fun _ -> Full); cf_tune = Fun.id };
     {
       cf_name = "sharded";
       cf_choose =
         (fun n ->
           (* Below 4 sites a 3-replica shard is not genuinely partial. *)
           if n >= 4 then Sharded (sharded_placement ~n) else Skip);
+      cf_tune = Fun.id;
+    };
+    {
+      (* Group commit moves the force boundaries (the flush-window timer
+         sits between enqueue and device start) and batching moves the
+         delivery boundaries; the sweep re-discovers its crash points
+         under both, so every new window edge gets an injection. *)
+      cf_name = "full+gc";
+      cf_choose = (fun _ -> Full);
+      cf_tune =
+        (fun c ->
+          {
+            c with
+            Config.group_commit_window = Time.us 20;
+            batch_window = Some (Time.us 10);
+          });
     };
   ]
 
@@ -89,10 +109,11 @@ let workload = [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "
 
 let roles = [ (0, "coordinator"); (1, "participant") ]
 
-let make_cluster ?placement ~protocol ~n ~seed () =
+let make_cluster ?placement ?(tune = Fun.id) ~protocol ~n ~seed () =
   let config =
-    { (Config.default ~sites:n ()) with commit_protocol = protocol; placement;
-      seed }
+    tune
+      { (Config.default ~sites:n ()) with commit_protocol = protocol;
+        placement; seed }
   in
   Cluster.create config
 
@@ -106,8 +127,8 @@ let start_workload cluster =
 
 (* Discovery pass: run the workload uninjected and record the ordered
    stream of (site, point) announcements for the sites we target. *)
-let discover ?placement ~protocol ~n ~seed () =
-  let cluster = make_cluster ?placement ~protocol ~n ~seed () in
+let discover ?placement ?tune ~protocol ~n ~seed () =
+  let cluster = make_cluster ?placement ?tune ~protocol ~n ~seed () in
   let points = Rt_core.Failure.observe_crash_points cluster in
   let _outcome = start_workload cluster in
   Cluster.run ~until:horizon cluster;
@@ -143,8 +164,8 @@ let audit ~case ~cluster ~outcome ~reached =
         { v_case = case; v_invariant = inv; v_detail = detail })
       vs
 
-let run_case ?placement ~case ~protocol ~seed () =
-  let cluster = make_cluster ?placement ~protocol ~n:case.cs_n ~seed () in
+let run_case ?placement ?tune ~case ~protocol ~seed () =
+  let cluster = make_cluster ?placement ?tune ~protocol ~n:case.cs_n ~seed () in
   let injected =
     Rt_core.Failure.crash_at_point cluster ~site:case.cs_site
       ~point:case.cs_point ~occurrence:case.cs_occurrence ~recover_after
@@ -172,7 +193,9 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                     | Sharded p -> Some p
                     | Full | Skip -> None
                   in
-                  let stream = discover ?placement ~protocol ~n ~seed () in
+                  let stream =
+                    discover ?placement ~tune:cf.cf_tune ~protocol ~n ~seed ()
+                  in
                   (* Each occurrence in the discovery stream is one
                      injection. *)
                   let occ = Hashtbl.create 32 in
@@ -199,7 +222,9 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                   in
                   let vs =
                     List.concat_map
-                      (fun case -> run_case ?placement ~case ~protocol ~seed ())
+                      (fun case ->
+                        run_case ?placement ~tune:cf.cf_tune ~case ~protocol
+                          ~seed ())
                       cases
                   in
                   total := !total + List.length cases;

@@ -63,11 +63,17 @@ type sweep_config = {
   cf_name : string;
   cf_choose : int -> placement_choice;
       (** Placement for a cluster size, or [Skip] to omit that size. *)
+  cf_tune : Rt_core.Config.t -> Rt_core.Config.t;
+      (** Knob adjustments applied to the built config (e.g. enable group
+          commit or batching); [Fun.id] for the classical settings. *)
 }
 
 val default_configs : sweep_config list
 (** Full replication at every size, plus the {!sharded_placement}
-    configuration at sizes ≥ 4. *)
+    configuration at sizes ≥ 4, plus full replication with WAL group
+    commit and link batching enabled ("full+gc") — group commit moves
+    the force boundaries, so the sweep re-discovers its crash points
+    there. *)
 
 val sweep :
   ?seed:int ->
@@ -81,6 +87,7 @@ val sweep :
 
 val run_case :
   ?placement:Rt_placement.Placement.t ->
+  ?tune:(Rt_core.Config.t -> Rt_core.Config.t) ->
   case:case ->
   protocol:Rt_core.Config.commit_protocol ->
   seed:int ->
@@ -92,6 +99,7 @@ val run_case :
 
 val discover :
   ?placement:Rt_placement.Placement.t ->
+  ?tune:(Rt_core.Config.t -> Rt_core.Config.t) ->
   protocol:Rt_core.Config.commit_protocol ->
   n:int ->
   seed:int ->

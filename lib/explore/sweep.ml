@@ -23,6 +23,9 @@ type scenario = {
   sc_name : string;
   sc_protocol : Config.commit_protocol;
   sc_sharded : bool;
+  sc_batched : bool;
+      (* WAL group commit + link batching on: the flush-window timers and
+         envelope deliveries become schedule choices. *)
   sc_txns : (int * Rt_workload.Mix.op list) list;  (* (origin, ops) *)
   sc_crash : crash_spec option;
   sc_max_executions : int;
@@ -51,6 +54,8 @@ let config_of sc =
     placement = (if sc.sc_sharded then Some (sharded_placement ()) else None);
     link = Rt_net.Net.reliable_link (Rt_net.Latency.Fixed (Time.us 10));
     heartbeat_interval = Time.sec 3600;
+    group_commit_window = (if sc.sc_batched then Time.us 20 else Time.zero);
+    batch_window = (if sc.sc_batched then Some (Time.us 10) else None);
     seed = 0;
   }
 
@@ -109,8 +114,11 @@ let make_sys sc () =
            (src, dst) and keep engine order within a link (= send
            order); the seq itself stays out of the digest. *)
         Rt_net.Net.in_flight (Cluster.net cluster)
-        |> List.map (fun (seq, src, dst, m) ->
-               ((src, dst, seq), Format.asprintf "%d>%d:%a;" src dst Msg.pp m))
+        |> List.map (fun (seq, src, dst, msgs) ->
+               ( (src, dst, seq),
+                 Format.asprintf "%d>%d:%s;" src dst
+                   (String.concat ","
+                      (List.map (Format.asprintf "%a" Msg.pp) msgs)) ))
         |> List.sort (fun ((a1, a2, a3), _) ((b1, b2, b3), _) ->
                match Int.compare a1 b1 with
                | 0 -> (
@@ -126,9 +134,11 @@ let make_sys sc () =
     ys_delivery_class =
       (fun ~seq ->
         match Rt_net.Net.find_in_flight (Cluster.net cluster) ~seq with
-        | Some (_, _, (m : Msg.t)) when m.payload = Msg.Heartbeat ->
+        | Some (_, _, [ (m : Msg.t) ]) when m.payload = Msg.Heartbeat ->
             Explore.Eager
-        | Some (_, _, m) -> Explore.Choice (Format.asprintf "%a" Msg.pp m)
+        | Some (_, _, msgs) ->
+            Explore.Choice
+              (String.concat "," (List.map (Format.asprintf "%a" Msg.pp) msgs))
         | None -> Explore.Choice "?")
 ;
     ys_crash_ok =
@@ -230,12 +240,13 @@ let full_txn = [ Rt_workload.Mix.Write ("a", "1") ]
 let shard_txn =
   [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "2") ]
 
-let scenario ?(sharded = false) ?crash ?(max_executions = 50_000)
-    ?(expected = []) ~name ~protocol ~txns () =
+let scenario ?(sharded = false) ?(batched = false) ?crash
+    ?(max_executions = 50_000) ?(expected = []) ~name ~protocol ~txns () =
   {
     sc_name = name;
     sc_protocol = protocol;
     sc_sharded = sharded;
+    sc_batched = batched;
     sc_txns = txns;
     sc_crash = crash;
     sc_max_executions = max_executions;
@@ -272,6 +283,32 @@ let default_matrix () =
            log-force boundary, recovery explored as a schedule choice. *)
         scenario
           ~name:(pname ^ "/crash")
+          ~protocol
+          ~txns:[ (0, full_txn) ]
+          ~crash:
+            {
+              cr_sites = [ 0 ];
+              cr_points = [ "wal:force-volatile"; "wal:force-durable" ];
+              cr_budget = 1;
+            }
+          ();
+        (* Two conflicting writers with group commit and batching on:
+           wal-flush and net-flush timers interleave with envelope
+           deliveries, and a shared flush must still release each
+           continuation only after the covering cycle is durable. *)
+        scenario ~batched:true
+          ~name:(pname ^ "/conflict+gcb")
+          ~protocol
+          ~txns:
+            [
+              (0, [ Rt_workload.Mix.Write ("a", "1") ]);
+              (1, [ Rt_workload.Mix.Write ("a", "2") ]);
+            ]
+          ();
+        (* Coordinator crash at the (group-commit) force boundaries with
+           batching on: the moved boundaries stay recoverable. *)
+        scenario ~batched:true
+          ~name:(pname ^ "/crash+gcb")
           ~protocol
           ~txns:[ (0, full_txn) ]
           ~crash:

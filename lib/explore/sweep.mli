@@ -19,6 +19,9 @@ type scenario = {
   sc_name : string;
   sc_protocol : Rt_core.Config.commit_protocol;
   sc_sharded : bool;
+  sc_batched : bool;
+      (** WAL group commit + link batching on: flush-window timers and
+          envelope deliveries become schedule choices. *)
   sc_txns : (int * Rt_workload.Mix.op list) list;  (** (origin, ops) *)
   sc_crash : crash_spec option;
   sc_max_executions : int;
@@ -32,6 +35,7 @@ val protocols : (string * Rt_core.Config.commit_protocol) list
 
 val scenario :
   ?sharded:bool ->
+  ?batched:bool ->
   ?crash:crash_spec ->
   ?max_executions:int ->
   ?expected:(string * string) list ->
@@ -42,7 +46,9 @@ val scenario :
   scenario
 
 val default_matrix : unit -> scenario list
-(** Four scenarios (full, shard2, conflict, crash) per protocol. *)
+(** Six scenarios per protocol: full, shard2, conflict, crash, plus the
+    conflict and crash shapes again with WAL group commit and link
+    batching on (conflict+gcb, crash+gcb). *)
 
 val find_scenario : string -> scenario option
 

@@ -6,7 +6,11 @@ type peer_state = { mutable last_heard : Time.t; mutable up : bool }
 type t = {
   engine : Engine.t;
   self : Ids.site_id;
-  peers : (Ids.site_id, peer_state) Hashtbl.t;
+  (* Dense by site id ([None] = self or not a peer): membership is fixed
+     at creation and site ids are dense, so ascending index order IS
+     sorted site order — peer traversals on the tick path need no
+     hash-table walk and no sort. *)
+  peers : peer_state option array;
   interval : Time.t;
   miss_threshold : int;
   send_beat : Ids.site_id -> unit;
@@ -19,11 +23,15 @@ type t = {
 let create engine ~self ~peers ~interval ~miss_threshold ~send_beat ~on_down
     ~on_up =
   if miss_threshold < 1 then invalid_arg "Heartbeat: miss_threshold >= 1";
-  let table = Hashtbl.create 16 in
+  List.iter
+    (fun p -> if p < 0 then invalid_arg "Heartbeat: negative site id")
+    peers;
+  let limit = List.fold_left (fun acc p -> max acc (p + 1)) (self + 1) peers in
+  let table = Array.make limit None in
   List.iter
     (fun p ->
       if p <> self then
-        Hashtbl.replace table p { last_heard = Engine.now engine; up = true })
+        table.(p) <- Some { last_heard = Engine.now engine; up = true })
     peers;
   {
     engine;
@@ -38,23 +46,29 @@ let create engine ~self ~peers ~interval ~miss_threshold ~send_beat ~on_down
     epoch = 0;
   }
 
-(* Peers are visited in sorted site order so the on_down/on_up callback
-   and beat-send sequences are a function of the membership, not of
-   hash-table layout — they schedule simulator events. *)
+let iter_peers t f =
+  Array.iteri
+    (fun peer st -> match st with None -> () | Some st -> f peer st)
+    t.peers
+
+let peer_state t site =
+  if site < 0 || site >= Array.length t.peers then None else t.peers.(site)
+
+(* Peers are visited in ascending site order so the on_down/on_up callback
+   and beat-send sequences are a function of the membership — they
+   schedule simulator events. *)
 let check t =
   let now = Engine.now t.engine in
   let deadline = t.miss_threshold * t.interval in
-  Det.iter_sorted ~cmp:Int.compare
-    (fun peer st ->
+  iter_peers t (fun peer st ->
       if st.up && Time.sub now st.last_heard > deadline then begin
         st.up <- false;
         t.on_down peer
       end)
-    t.peers
 
 let rec tick t epoch () =
   if t.running && t.epoch = epoch then begin
-    Det.iter_sorted ~cmp:Int.compare (fun peer _ -> t.send_beat peer) t.peers;
+    iter_peers t (fun peer _ -> t.send_beat peer);
     check t;
     ignore
       (Engine.schedule_after
@@ -68,7 +82,7 @@ let start t =
     t.epoch <- t.epoch + 1;
     (* Reset suspicion so a restarted site gives peers a full window. *)
     let now = Engine.now t.engine in
-    Det.iter_sorted ~cmp:Int.compare (fun _ st -> st.last_heard <- now) t.peers;
+    iter_peers t (fun _ st -> st.last_heard <- now);
     tick t t.epoch ()
   end
 
@@ -77,7 +91,7 @@ let stop t =
   t.epoch <- t.epoch + 1
 
 let beat_received t ~from =
-  match Hashtbl.find_opt t.peers from with
+  match peer_state t from with
   | None -> ()
   | Some st ->
       st.last_heard <- Engine.now t.engine;
@@ -88,10 +102,9 @@ let beat_received t ~from =
 
 let is_up t site =
   if site = t.self then t.running
-  else match Hashtbl.find_opt t.peers site with
-    | Some st -> st.up
-    | None -> false
+  else match peer_state t site with Some st -> st.up | None -> false
 
 let up_peers t =
-  Hashtbl.fold (fun p st acc -> if st.up then p :: acc else acc) t.peers []
-  |> List.sort Int.compare
+  let acc = ref [] in
+  iter_peers t (fun p st -> if st.up then acc := p :: !acc);
+  List.rev !acc

@@ -114,18 +114,19 @@ let drain_step = Time.ms 50
 let drain_cap = Time.sec 5
 
 let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
-    ?(rc = Rt_replica.Replica_control.rowa) ?(keys = 48)
+    ?(rc = Rt_replica.Replica_control.rowa) ?(keys = 48) ?(tune = Fun.id)
     ~scenario ~protocol:(protocol_name, commit_protocol)
     ~placement:(placement_name, placement) () =
   let config =
-    {
-      (Config.default ~sites ()) with
-      commit_protocol;
-      replica_control = rc;
-      placement;
-      checkpoint_every = 50;
-      seed;
-    }
+    tune
+      {
+        (Config.default ~sites ()) with
+        commit_protocol;
+        replica_control = rc;
+        placement;
+        checkpoint_every = 50;
+        seed;
+      }
   in
   let cluster = Cluster.create config in
   let mix =
@@ -212,7 +213,7 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
     r_known = known;
   }
 
-let run ?seed ?sites:(n = 5) ?clients ?duration ?rc
+let run ?seed ?sites:(n = 5) ?clients ?duration ?rc ?tune
     ?(scenarios = default_scenarios) ?(protocols = default_protocols)
     ?placements () =
   let placements =
@@ -226,7 +227,7 @@ let run ?seed ?sites:(n = 5) ?clients ?duration ?rc
         (fun protocol ->
           List.map
             (fun placement ->
-              run_one ?seed ~sites:n ?clients ?duration ?rc ~scenario
+              run_one ?seed ~sites:n ?clients ?duration ?rc ?tune ~scenario
                 ~protocol ~placement ())
             placements)
         protocols)

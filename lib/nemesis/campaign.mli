@@ -50,13 +50,16 @@ val run_one :
   ?duration:Time.t ->
   ?rc:Rt_replica.Replica_control.t ->
   ?keys:int ->
+  ?tune:(Config.t -> Config.t) ->
   scenario:Scenario.t ->
   protocol:string * Config.commit_protocol ->
   placement:string * Rt_placement.Placement.t option ->
   unit ->
   result
 (** One cell: run [scenario] for [duration] against the given protocol,
-    replica control (default ROWA) and placement, then drain and audit. *)
+    replica control (default ROWA) and placement, then drain and audit.
+    [tune] adjusts the built config before the cluster is created (e.g.
+    enable WAL group commit or link batching). *)
 
 val run :
   ?seed:int ->
@@ -64,12 +67,14 @@ val run :
   ?clients:int ->
   ?duration:Time.t ->
   ?rc:Rt_replica.Replica_control.t ->
+  ?tune:(Config.t -> Config.t) ->
   ?scenarios:Scenario.t list ->
   ?protocols:(string * Config.commit_protocol) list ->
   ?placements:(string * Rt_placement.Placement.t option) list ->
   unit ->
   result list
-(** The full scenario × protocol × placement matrix. *)
+(** The full scenario × protocol × placement matrix, every cell tuned by
+    [tune] (default: no adjustment). *)
 
 val render : result list -> string
 (** Markdown table plus one line per violation.  Contains no wall-clock

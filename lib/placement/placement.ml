@@ -13,6 +13,11 @@ type t = {
   layout : layout;
   replica_sets : Ids.site_id list array;  (* indexed by shard, sorted *)
   site_shards : Shard_map.shard_id list array;  (* indexed by site, sorted *)
+  (* Dense fast paths, precomputed once at create: membership tests and
+     co-replica traversals run on every routed operation, so they index
+     instead of walking lists. *)
+  member : bool array array;  (* member.(shard).(site) *)
+  co_replica_sets : Ids.site_id list array;  (* indexed by site, sorted *)
 }
 
 let replicas_for ~layout ~sites ~degree shard =
@@ -42,7 +47,30 @@ let create ?(layout = Round_robin) ~map ~sites ~degree () =
         reps)
     replica_sets;
   let site_shards = Array.map (List.sort Int.compare) site_shards in
-  { map; sites; degree; layout; replica_sets; site_shards }
+  let member =
+    Array.map
+      (fun reps ->
+        let row = Array.make sites false in
+        List.iter (fun s -> row.(s) <- true) reps;
+        row)
+      replica_sets
+  in
+  let co_replica_sets =
+    Array.init sites (fun site ->
+        let seen = Array.make sites false in
+        List.iter
+          (fun shard ->
+            List.iter (fun s -> seen.(s) <- true) replica_sets.(shard))
+          site_shards.(site);
+        seen.(site) <- false;
+        let acc = ref [] in
+        for s = sites - 1 downto 0 do
+          if seen.(s) then acc := s :: !acc
+        done;
+        !acc)
+  in
+  { map; sites; degree; layout; replica_sets; site_shards; member;
+    co_replica_sets }
 
 let full ~sites =
   create ~map:(Shard_map.hash ~shards:1) ~sites ~degree:sites ()
@@ -62,20 +90,23 @@ let replicas t ~shard =
 let shard_of_key t key = Shard_map.shard_of t.map key
 let replicas_of_key t key = t.replica_sets.(shard_of_key t key)
 
-let replicates t ~site ~shard = List.mem site (replicas t ~shard)
+let replicates t ~site ~shard =
+  if shard < 0 || shard >= Array.length t.member then
+    invalid_arg "Placement.replicates: shard out of range";
+  site >= 0 && site < t.sites && t.member.(shard).(site)
 
 let shards_of_site t site =
   if site < 0 || site >= t.sites then
     invalid_arg "Placement.shards_of_site: site out of range";
   t.site_shards.(site)
 
-let owns_key t ~site key = List.mem site (replicas_of_key t key)
+let owns_key t ~site key =
+  site >= 0 && site < t.sites && t.member.(shard_of_key t key).(site)
 
 let co_replicas t ~site =
-  List.concat_map (fun shard -> t.replica_sets.(shard))
-    (shards_of_site t site)
-  |> List.filter (fun s -> s <> site)
-  |> List.sort_uniq Int.compare
+  if site < 0 || site >= t.sites then
+    invalid_arg "Placement.co_replicas: site out of range";
+  t.co_replica_sets.(site)
 
 let describe t =
   Printf.sprintf "%s x%d over %d sites, degree %d, %s"

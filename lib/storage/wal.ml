@@ -2,9 +2,17 @@ open Rt_sim
 
 type lsn = int
 
+type stats = {
+  st_started : int;
+  st_completed : int;
+  st_lost : int;
+  st_pending : int;
+}
+
 type 'r t = {
   engine : Engine.t;
   force_latency : Time.t;
+  group_window : Time.t;  (* zero = start the device on the first force *)
   owner : int;  (* owning site, for crash points; -1 = anonymous *)
   mutable records : 'r array;  (* index i holds LSN base + i + 1 *)
   mutable size : int;
@@ -12,14 +20,26 @@ type 'r t = {
   mutable durable : lsn;
   mutable waiting : (lsn * (unit -> unit)) list;  (* reversed *)
   mutable device_busy : bool;
+  mutable flush_armed : bool;  (* group-commit window timer pending *)
   mutable epoch : int;  (* bumped on crash to silence in-flight completions *)
-  mutable forces : int;
+  (* Crash-consistent device-cycle accounting: a cycle is [started] when
+     the device begins writing, [completed] when its completion event
+     runs, and [lost] when a crash lands in between.  The invariant
+     [started = completed + lost + (busy ? 1 : 0)] holds at every
+     instant, so [force_count] (= completed) never counts a cycle whose
+     effects a crash discarded. *)
+  mutable started : int;
+  mutable completed : int;
+  mutable lost : int;
 }
 
-let create ?(owner = -1) engine ~force_latency () =
+let create ?(owner = -1) ?(group_window = Time.zero) engine ~force_latency () =
+  if Time.(group_window < zero) then
+    invalid_arg "Wal.create: group_window must be non-negative";
   {
     engine;
     force_latency;
+    group_window;
     owner;
     records = [||];
     size = 0;
@@ -27,8 +47,11 @@ let create ?(owner = -1) engine ~force_latency () =
     durable = 0;
     waiting = [];
     device_busy = false;
+    flush_armed = false;
     epoch = 0;
-    forces = 0;
+    started = 0;
+    completed = 0;
+    lost = 0;
   }
 
 (* Announce a crash point and report whether the log is still alive: the
@@ -45,7 +68,15 @@ let tail_lsn t = t.base + t.size
 let durable_lsn t = t.durable
 let first_lsn t = t.base + 1
 let length t = t.size
-let force_count t = t.forces
+let force_count t = t.completed
+
+let stats t =
+  {
+    st_started = t.started;
+    st_completed = t.completed;
+    st_lost = t.lost;
+    st_pending = List.length t.waiting;
+  }
 
 let append t r =
   let cap = Array.length t.records in
@@ -69,7 +100,7 @@ let fire_satisfied t =
 
 let rec start_device_cycle t =
   t.device_busy <- true;
-  t.forces <- t.forces + 1;
+  t.started <- t.started + 1;
   let target = tail_lsn t in
   let epoch = t.epoch in
   (* Device completion is a real scheduling choice for an explorer: its
@@ -83,15 +114,41 @@ let rec start_device_cycle t =
     (Engine.schedule_after ~label t.engine t.force_latency (fun () ->
          if t.epoch = epoch then begin
            t.device_busy <- false;
+           t.completed <- t.completed + 1;
            if target > t.durable then t.durable <- target;
            (* Crash here: the records are durable but every continuation
               waiting on them is lost. *)
            if reach_crash_point t "wal:force-durable" then begin
              fire_satisfied t;
              (* Anything still waiting targets records appended after this
-                cycle started: run another cycle. *)
-             if t.waiting <> [] then start_device_cycle t
+                cycle started: run another cycle immediately — the cycle
+                just finished already was the grouping window.  A fired
+                continuation may itself have forced and restarted the
+                device; starting a second overlapping cycle would
+                double-count the flush (and leave a completion a crash
+                can silence without marking it lost). *)
+             if t.waiting <> [] && not t.device_busy then
+               start_device_cycle t
            end
+         end))
+
+(* Group-commit controller: the first force inside a window arms a
+   per-site flush timer; every force that arrives before it fires joins
+   the same flush, so concurrent transactions share one device cycle.
+   With a zero window the device starts immediately (the classical
+   per-transaction force, modulo busy-device coalescing). *)
+let arm_flush t =
+  t.flush_armed <- true;
+  let epoch = t.epoch in
+  let label =
+    if t.owner >= 0 then Engine.Timer { site = t.owner; name = "wal-flush" }
+    else Engine.Internal (-1)
+  in
+  ignore
+    (Engine.schedule_after ~label t.engine t.group_window (fun () ->
+         if t.epoch = epoch then begin
+           t.flush_armed <- false;
+           if t.waiting <> [] && not t.device_busy then start_device_cycle t
          end))
 
 let force t ?upto k =
@@ -105,12 +162,16 @@ let force t ?upto k =
     reach_crash_point t "wal:force-volatile"
   then begin
     t.waiting <- (upto, k) :: t.waiting;
-    if not t.device_busy then start_device_cycle t
+    if not t.device_busy then
+      if Time.(t.group_window = zero) then start_device_cycle t
+      else if not t.flush_armed then arm_flush t
   end
 
 let crash t =
   t.epoch <- t.epoch + 1;
+  if t.device_busy then t.lost <- t.lost + 1;
   t.device_busy <- false;
+  t.flush_armed <- false;
   t.waiting <- [];
   (* Drop the volatile suffix. *)
   let keep = t.durable - t.base in
@@ -125,8 +186,8 @@ let all_records t = records_from t ~count:t.size
 let dump t ~record =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
-    (Printf.sprintf "base=%d durable=%d busy=%b;" t.base t.durable
-       t.device_busy);
+    (Printf.sprintf "base=%d durable=%d busy=%b armed=%b;" t.base t.durable
+       t.device_busy t.flush_armed);
   for i = 0 to t.size - 1 do
     let lsn = t.base + i + 1 in
     let tag = if lsn <= t.durable then 'D' else 'v' in

@@ -1,11 +1,15 @@
 (** Write-ahead log over a simulated stable-storage device.
 
-    Appends go to a volatile buffer; a {!force} starts a device write that
-    takes the configured latency and, on completion, makes every record
-    appended before the force started durable.  Forces issued while the
-    device is busy coalesce into the next cycle, which yields group commit
-    for free.  A {!crash} discards the non-durable suffix and silences any
-    outstanding completion callbacks.
+    Appends go to a volatile buffer; a {!force} enqueues against a
+    per-site group-commit controller: with a non-zero [group_window] the
+    first force arms a flush timer and every force arriving before it
+    fires shares one device write; with a zero window the device starts
+    immediately.  Either way, forces issued while the device is busy
+    coalesce into the next cycle, and one completed cycle releases every
+    waiting continuation it covers — no continuation runs before the
+    flush covering its records is durable.  A {!crash} discards the
+    non-durable suffix and silences any outstanding completion
+    callbacks.
 
     The record type is a parameter so the same engine backs both database
     logs and protocol-state logs in tests. *)
@@ -14,12 +18,24 @@ open Rt_sim
 
 type 'r t
 
-val create : ?owner:int -> Engine.t -> force_latency:Time.t -> unit -> 'r t
+val create :
+  ?owner:int ->
+  ?group_window:Time.t ->
+  Engine.t ->
+  force_latency:Time.t ->
+  unit ->
+  'r t
 (** [owner] is the id of the owning site; when given and a crash-point hook
     is installed on the engine, the log announces ["wal:force-volatile"]
     (force requested, records not yet durable) and ["wal:force-durable"]
     (device cycle completed, continuations about to run) so a fault
-    injector can crash the site exactly at those boundaries. *)
+    injector can crash the site exactly at those boundaries.
+
+    [group_window] (default zero) is the group-commit flush window: the
+    first {!force} of a group arms a per-site flush timer (labelled
+    ["wal-flush"]) and the device starts only when it fires, so every
+    force arriving inside the window shares one device cycle.  Zero
+    starts the device on the first force — the classical behaviour. *)
 
 type lsn = int
 (** Log sequence numbers are 1-based; 0 means "nothing". *)
@@ -56,7 +72,23 @@ val length : 'r t -> int
 (** Number of retained records. *)
 
 val force_count : 'r t -> int
-(** Device force cycles completed so far (the forced-write cost measure). *)
+(** Device force cycles {e completed} so far (the forced-write cost
+    measure).  Cycles that a crash interrupted are excluded — they made
+    nothing durable — so the counter is crash-consistent: it never counts
+    work whose effects were discarded. *)
+
+type stats = {
+  st_started : int;  (** Device cycles begun. *)
+  st_completed : int;  (** Cycles whose completion event ran ([force_count]). *)
+  st_lost : int;  (** Cycles interrupted by a crash before completing. *)
+  st_pending : int;  (** Force continuations currently waiting. *)
+}
+
+val stats : 'r t -> stats
+(** Crash-consistent cycle accounting.  Invariant, at every instant:
+    [st_started = st_completed + st_lost + (1 if the device is busy)].
+    At quiescence on a live site, [st_pending = 0].  The sweep audit
+    asserts both. *)
 
 val dump : 'r t -> record:('r -> string) -> string
 (** Canonical rendering of the log state for structural fingerprinting:

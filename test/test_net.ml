@@ -68,7 +68,7 @@ let test_fifo_ordering () =
 
 let test_drop_probability () =
   let e = Engine.create ~seed:3 () in
-  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.5; duplicate = 0. } in
+  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.5; duplicate = 0. ; overhead = Time.zero } in
   let net = Net.create e ~nodes:2 ~default:link in
   let got = ref 0 in
   Net.register net 1 (fun ~src:_ _ -> incr got);
@@ -92,7 +92,7 @@ let test_dropped_split_accounting () =
   let net = fixed_net e in
   Net.register net 1 (fun ~src:_ _ -> ());
   Net.set_link net ~src:0 ~dst:1
-    { Net.latency = Latency.Fixed (Time.us 10); drop = 1.0; duplicate = 0. };
+    { Net.latency = Latency.Fixed (Time.us 10); drop = 1.0; duplicate = 0. ; overhead = Time.zero };
   Net.send net ~src:0 ~dst:1 ();
   Engine.run e;
   Alcotest.(check int) "link loss counted" 1 (Net.stats net).dropped_link;
@@ -109,7 +109,7 @@ let test_dropped_split_accounting () =
 
 let test_duplicate_stats () =
   let e = Engine.create ~seed:4 () in
-  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0 } in
+  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0 ; overhead = Time.zero } in
   let net = Net.create e ~nodes:2 ~default:link in
   let got = ref 0 in
   Net.register net 1 (fun ~src:_ _ -> incr got);
@@ -126,7 +126,7 @@ let test_fifo_under_duplication () =
   let e = Engine.create ~seed:2 () in
   let link =
     { Net.latency = Latency.Uniform (Time.ms 1, Time.ms 20);
-      drop = 0.; duplicate = 1.0 }
+      drop = 0.; duplicate = 1.0; overhead = Time.zero }
   in
   let net = Net.create ~fifo:true e ~nodes:2 ~default:link in
   let got = ref [] in
@@ -141,7 +141,7 @@ let test_fifo_under_duplication () =
 
 let test_duplicate_probability () =
   let e = Engine.create ~seed:4 () in
-  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0 } in
+  let link = { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0 ; overhead = Time.zero } in
   let net = Net.create e ~nodes:2 ~default:link in
   let got = ref 0 in
   Net.register net 1 (fun ~src:_ _ -> incr got);
@@ -276,6 +276,115 @@ let test_partition_module () =
     (Invalid_argument "Partition.split: node 1 listed twice") (fun () ->
       Partition.split p [ [ 1 ]; [ 1; 2 ] ])
 
+(* --- per-link batching ---------------------------------------------- *)
+
+let batched_net ?default ~window e =
+  let default =
+    match default with
+    | Some l -> l
+    | None -> Net.reliable_link (Latency.Fixed (Time.us 10))
+  in
+  Net.create ~batch:(Time.us window) e ~nodes:3 ~default
+
+let test_batch_fifo_one_envelope () =
+  let e = Engine.create () in
+  let net = batched_net ~window:50 e in
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ msg -> got := msg :: !got);
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:1 "b";
+  Net.send net ~src:0 ~dst:1 "c";
+  Alcotest.(check (list string))
+    "queued in send order" [ "a"; "b"; "c" ]
+    (Net.pending net ~src:0 ~dst:1);
+  Engine.run e;
+  Alcotest.(check (list string)) "FIFO within envelope" [ "c"; "b"; "a" ] !got;
+  let s = Net.stats net in
+  Alcotest.(check int) "one wire envelope" 1 s.envelopes;
+  Alcotest.(check int) "per-message sent" 3 s.sent;
+  Alcotest.(check int) "per-message delivered" 3 s.delivered;
+  Alcotest.(check int) "flush at window + latency" (Time.us 60) (Engine.now e)
+
+let test_batch_drop_loses_whole_envelope () =
+  let e = Engine.create ~seed:4 () in
+  let net = batched_net ~window:50 e in
+  Net.set_link net ~src:0 ~dst:1
+    { Net.latency = Latency.Fixed (Time.us 10); drop = 1.0; duplicate = 0.;
+      overhead = Time.zero };
+  let got = ref [] in
+  Net.register net 1 (fun ~src msg -> got := (src, msg) :: !got);
+  (* Three messages on the faulty link, two on a clean one: the one drop
+     roll for the 0->1 envelope loses exactly its contents. *)
+  Net.send net ~src:0 ~dst:1 "x";
+  Net.send net ~src:0 ~dst:1 "y";
+  Net.send net ~src:0 ~dst:1 "z";
+  Net.send net ~src:2 ~dst:1 "u";
+  Net.send net ~src:2 ~dst:1 "v";
+  Engine.run e;
+  Alcotest.(check (list (pair int string)))
+    "clean link unaffected" [ (2, "v"); (2, "u") ] !got;
+  let s = Net.stats net in
+  Alcotest.(check int) "all envelope contents lost" 3 s.dropped_link;
+  Alcotest.(check int) "only the clean envelope flew" 1 s.envelopes
+
+let test_batch_duplicate_repeats_envelope () =
+  let e = Engine.create ~seed:4 () in
+  let net = batched_net ~window:50 e in
+  Net.set_link net ~src:0 ~dst:1
+    { Net.latency = Latency.Fixed (Time.us 10); drop = 0.; duplicate = 1.0;
+      overhead = Time.zero };
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ msg -> got := msg :: !got);
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:1 "b";
+  Engine.run e;
+  Alcotest.(check (list string))
+    "whole envelope delivered twice, FIFO both times"
+    [ "a"; "b"; "a"; "b" ] (List.rev !got);
+  let s = Net.stats net in
+  Alcotest.(check int) "two wire envelopes" 2 s.envelopes;
+  Alcotest.(check int) "per-message duplicate tally" 2 s.duplicated
+
+let test_batch_sever_inside_window () =
+  let e = Engine.create () in
+  let net = batched_net ~window:50 e in
+  let got = ref [] in
+  Net.register net 1 (fun ~src:_ msg -> got := msg :: !got);
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:1 "b";
+  (* The link is severed after the sends but before the window flushes:
+     the whole envelope dies before reaching the wire. *)
+  ignore
+    (Engine.schedule_after e (Time.us 20) (fun () ->
+         Partition.sever (Net.partition net) ~src:0 ~dst:1));
+  Engine.run e;
+  Alcotest.(check (list string)) "nothing delivered" [] !got;
+  let s = Net.stats net in
+  Alcotest.(check int) "counted as partition loss" 2 s.dropped_partition;
+  Alcotest.(check int) "no envelope scheduled" 0 s.envelopes
+
+let test_egress_overhead_serializes () =
+  let e = Engine.create () in
+  let net =
+    Net.create e ~nodes:3
+      ~default:
+        (Net.reliable_link ~overhead:(Time.us 30) (Latency.Fixed (Time.us 10)))
+  in
+  let times = ref [] in
+  let handler ~src:_ _ = times := Engine.now e :: !times in
+  Net.register net 1 handler;
+  Net.register net 2 handler;
+  (* Two sends from node 0 at t=0, to different destinations: they
+     serialize through 0's egress port (depart at 30 and 60), then each
+     takes the 10us propagation. *)
+  Net.send net ~src:0 ~dst:1 "a";
+  Net.send net ~src:0 ~dst:2 "b";
+  Engine.run e;
+  Alcotest.(check (list int))
+    "arrivals reflect serialized departures" [ Time.us 40; Time.us 70 ]
+    (List.rev !times);
+  Alcotest.(check int) "two envelopes" 2 (Net.stats net).envelopes
+
 let test_latency_mean () =
   Alcotest.(check int) "fixed mean" (Time.ms 3) (Latency.mean (Latency.Fixed (Time.ms 3)));
   Alcotest.(check int) "uniform mean" (Time.ms 3)
@@ -331,6 +440,19 @@ let () =
           Alcotest.test_case "sever in-flight loss" `Quick
             test_sever_in_flight_loss;
           Alcotest.test_case "partition module" `Quick test_partition_module;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "one envelope, FIFO" `Quick
+            test_batch_fifo_one_envelope;
+          Alcotest.test_case "drop loses whole envelope" `Quick
+            test_batch_drop_loses_whole_envelope;
+          Alcotest.test_case "duplicate repeats envelope" `Quick
+            test_batch_duplicate_repeats_envelope;
+          Alcotest.test_case "sever inside window" `Quick
+            test_batch_sever_inside_window;
+          Alcotest.test_case "egress overhead serializes" `Quick
+            test_egress_overhead_serializes;
         ] );
       ( "latency",
         [

@@ -95,6 +95,78 @@ let test_wal_group_commit () =
   Alcotest.(check int) "two device cycles" 2 (Wal.force_count wal);
   Alcotest.(check int) "everything durable" 3 (Wal.durable_lsn wal)
 
+let test_wal_group_window_coalesces () =
+  let e = Engine.create () in
+  let wal =
+    Wal.create ~group_window:(Time.us 50) e ~force_latency:(Time.us 100) ()
+  in
+  (* Three forces land inside one flush window; none is acknowledged
+     before the single covering device cycle completes. *)
+  let acks = ref [] in
+  let force_at t tag =
+    ignore
+      (Engine.schedule_at e t (fun () ->
+           let lsn = Wal.append wal tag in
+           Wal.force wal (fun () ->
+               Alcotest.(check bool)
+                 "ack only after covering flush" true
+                 (Wal.durable_lsn wal >= lsn);
+               acks := (tag, Engine.now e) :: !acks)))
+  in
+  force_at Time.zero "a";
+  force_at (Time.us 10) "b";
+  force_at (Time.us 40) "c";
+  Engine.run e;
+  (* Window arms at t=0, fires at 50, device cycle completes at 150. *)
+  Alcotest.(check (list (pair string int)))
+    "all acked together, in order"
+    [ ("a", Time.us 150); ("b", Time.us 150); ("c", Time.us 150) ]
+    (List.rev !acks);
+  Alcotest.(check int) "one device cycle for three forces" 1
+    (Wal.force_count wal);
+  let st = Wal.stats wal in
+  Alcotest.(check int) "started" 1 st.st_started;
+  Alcotest.(check int) "completed" 1 st.st_completed;
+  Alcotest.(check int) "lost" 0 st.st_lost;
+  Alcotest.(check int) "pending" 0 st.st_pending
+
+let test_wal_crash_between_enqueue_and_flush () =
+  let e = Engine.create () in
+  let wal =
+    Wal.create ~group_window:(Time.us 50) e ~force_latency:(Time.us 100) ()
+  in
+  ignore (Wal.append wal "a");
+  let fired = ref false in
+  Wal.force wal (fun () -> fired := true);
+  (* Crash while the flush window is still armed: the device never
+     started, so no cycle is started, completed, or lost. *)
+  ignore (Engine.schedule_at e (Time.us 20) (fun () -> Wal.crash wal));
+  Engine.run e;
+  Alcotest.(check bool) "ack silenced" false !fired;
+  Alcotest.(check int) "no device cycle counted" 0 (Wal.force_count wal);
+  let st = Wal.stats wal in
+  Alcotest.(check int) "none started" 0 st.st_started;
+  Alcotest.(check int) "none lost" 0 st.st_lost;
+  Alcotest.(check int) "nothing left waiting" 0 st.st_pending
+
+let test_wal_crash_mid_cycle_counts_lost () =
+  let e = Engine.create () in
+  let wal =
+    Wal.create ~group_window:(Time.us 50) e ~force_latency:(Time.us 100) ()
+  in
+  ignore (Wal.append wal "a");
+  Wal.force wal (fun () -> ());
+  (* Crash after the window fired (t=50) but before the device cycle
+     completes (t=150): the in-flight flush is lost, not completed. *)
+  ignore (Engine.schedule_at e (Time.us 80) (fun () -> Wal.crash wal));
+  Engine.run e;
+  Alcotest.(check int) "lost cycle not in force_count" 0 (Wal.force_count wal);
+  let st = Wal.stats wal in
+  Alcotest.(check int) "started" 1 st.st_started;
+  Alcotest.(check int) "completed" 0 st.st_completed;
+  Alcotest.(check int) "lost" 1 st.st_lost;
+  Alcotest.(check int) "nothing durable" 0 (Wal.durable_lsn wal)
+
 let test_wal_force_when_already_durable () =
   let e = Engine.create () in
   let wal = Wal.create e ~force_latency:(Time.us 100) () in
@@ -309,6 +381,12 @@ let () =
         [
           Alcotest.test_case "append and force" `Quick test_wal_append_and_force;
           Alcotest.test_case "group commit" `Quick test_wal_group_commit;
+          Alcotest.test_case "group window coalesces" `Quick
+            test_wal_group_window_coalesces;
+          Alcotest.test_case "crash with window armed" `Quick
+            test_wal_crash_between_enqueue_and_flush;
+          Alcotest.test_case "crash mid cycle counts lost" `Quick
+            test_wal_crash_mid_cycle_counts_lost;
           Alcotest.test_case "force when durable" `Quick
             test_wal_force_when_already_durable;
           Alcotest.test_case "crash loses volatile suffix" `Quick
