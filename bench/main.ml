@@ -306,6 +306,7 @@ let json_protocols =
     ("2PC-PrC", Config.Two_phase Two_pc.Presumed_commit);
     ("3PC", Config.Three_phase);
     ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+    ("Paxos", Config.Paxos_commit { f = None });
   ]
 
 let json_placements =

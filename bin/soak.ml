@@ -17,6 +17,7 @@ let commit_protocol_of_string = function
   | "3pc" -> Ok Config.Three_phase
   | "qc" ->
       Ok (Config.Quorum_commit { commit_quorum = None; abort_quorum = None })
+  | "paxos" -> Ok (Config.Paxos_commit { f = None })
   | s -> Error (Printf.sprintf "unknown commit protocol %S" s)
 
 let rc_of_string ~sites = function
@@ -180,7 +181,7 @@ let cmd =
     Arg.(
       value & opt string "2pc-pra"
       & info [ "protocol" ]
-          ~doc:"Commit protocol: 2pc-prn, 2pc-pra, 2pc-prc, 3pc, qc.")
+          ~doc:"Commit protocol: 2pc-prn, 2pc-pra, 2pc-prc, 3pc, qc, paxos.")
   in
   let rc =
     Arg.(

@@ -80,6 +80,30 @@ let rec of_qc_part p =
     describe = (fun () -> Quorum_commit.describe_part p);
   }
 
+let rec of_paxos_coord c =
+  {
+    step =
+      (fun i ->
+        let c', a = Paxos_commit.coord_step c i in
+        (of_paxos_coord c', a));
+    decision = Paxos_commit.coord_decision c;
+    pstate = P_uncertain;
+    blocked = Paxos_commit.coord_blocked c;
+    describe = (fun () -> Paxos_commit.describe_coord c);
+  }
+
+let rec of_paxos_part p =
+  {
+    step =
+      (fun i ->
+        let p', a = Paxos_commit.part_step p i in
+        (of_paxos_part p', a));
+    decision = Paxos_commit.part_decision p;
+    pstate = Paxos_commit.part_state p;
+    blocked = Paxos_commit.part_blocked p;
+    describe = (fun () -> Paxos_commit.describe_part p);
+  }
+
 let rec finished d =
   {
     step =
@@ -92,6 +116,10 @@ let rec finished d =
         | Recv (src, Pq_state_req e) ->
             let st = match d with Commit -> P_committed | Abort -> P_aborted in
             (finished d, [ Send (src, Pq_state_report (e, st)) ])
+        | Recv (src, (Px_p1a _ | Px_p2a _)) ->
+            (* A paxos recovery leader is probing a settled transaction:
+               the decision supersedes any ballot. *)
+            (finished d, [ Send (src, Decision_msg d) ])
         | _ -> (finished d, []));
     decision = Some d;
     pstate = (match d with Commit -> P_committed | Abort -> P_aborted);

@@ -33,6 +33,10 @@ val of_qc_coord : Quorum_commit.coord -> t
 
 val of_qc_part : Quorum_commit.part -> t
 
+val of_paxos_coord : Paxos_commit.coord -> t
+
+val of_paxos_part : Paxos_commit.part -> t
+
 val finished : decision -> t
-(** A site that already knows the outcome: answers [Decision_req] and
-    state requests, ignores everything else. *)
+(** A site that already knows the outcome: answers [Decision_req], state
+    requests, and paxos leader probes, ignores everything else. *)

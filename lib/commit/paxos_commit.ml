@@ -1,0 +1,959 @@
+open Rt_types
+open Protocol
+module Sset = Set.Make (Int)
+
+(* Paxos Commit (Gray & Lamport, "Consensus on Transaction Commit"): one
+   Paxos consensus instance per participant vote, all instances sharing a
+   single ballot space led by the transaction coordinator at ballot 0.
+   2F+1 acceptors with F+1 quorums make the commit/abort outcome survive
+   any F failures; with F = 0 the coordinator is the sole acceptor and
+   the protocol degenerates, message for message, into 2PC-PrN — the
+   degenerate branches below are deliberately written to be step-aligned
+   with [Two_pc] so the equivalence suite can drive both through shared
+   schedules. *)
+
+type config = {
+  all : Ids.site_id list;  (* participants, ascending *)
+  coordinator : Ids.site_id;
+  f : int;
+  acceptors : Ids.site_id list;  (* 2f+1: coordinator first, rest ascending *)
+}
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let config ~all ~coordinator ?f () =
+  (match all with
+  | [] -> invalid_arg "Paxos_commit.config: no participants"
+  | _ :: _ -> ());
+  let all = List.sort_uniq Int.compare all in
+  let others = List.filter (fun s -> s <> coordinator) all in
+  let max_f = List.length others / 2 in
+  let f = match f with None -> max_f | Some f -> f in
+  if f < 0 then invalid_arg "Paxos_commit.config: negative F";
+  if f > max_f then
+    invalid_arg "Paxos_commit.config: not enough sites for 2F+1 acceptors";
+  let acceptors = coordinator :: take (2 * f) others in
+  { all; coordinator; f; acceptors }
+
+let quorum cfg = cfg.f + 1
+let degenerate cfg = cfg.f = 0
+let ballot0 cfg : epoch = (0, cfg.coordinator)
+let send_to set msg = List.map (fun p -> Send (p, msg)) (Sset.elements set)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor (embedded in the coordinator and in acceptor participants) *)
+(* ------------------------------------------------------------------ *)
+
+type acceptor = {
+  ax_promised : epoch;  (* highest ballot promised (maxBal) *)
+  ax_accepted : (Ids.site_id * (epoch * decision)) list;
+      (* per instance, the last accepted (ballot, value); ascending rm *)
+}
+
+let acc_init cfg = { ax_promised = ballot0 cfg; ax_accepted = [] }
+let acc_triples a = List.map (fun (rm, (b, v)) -> (rm, b, v)) a.ax_accepted
+let acc_accepted = acc_triples
+
+let acc_p1a a ~ballot =
+  if epoch_compare ballot a.ax_promised >= 0 then
+    ({ a with ax_promised = ballot }, `P1b (acc_triples a))
+  else (a, `Nack a.ax_promised)
+
+(* Accept (ballot, v) for instance [rm] iff the ballot is not stale.  At
+   an equal ballot a previously accepted value is never overwritten — the
+   duplicate is re-acknowledged with the original value (the ballot-safety
+   property the qcheck suite pins). *)
+let acc_p2a a ~ballot ~rm ~v =
+  if epoch_compare ballot a.ax_promised < 0 then (a, `Nack a.ax_promised)
+  else
+    let a = { a with ax_promised = ballot } in
+    match List.assoc_opt rm a.ax_accepted with
+    | Some (b', v') when epoch_compare b' ballot = 0 -> (a, `P2b v')
+    | _ ->
+        let accepted =
+          (rm, (ballot, v)) :: List.remove_assoc rm a.ax_accepted
+          |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
+        in
+        ({ a with ax_accepted = accepted }, `P2b v)
+
+(* ------------------------------------------------------------------ *)
+(* Vote tallies and phase-1 merges                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per instance: which acceptors acknowledged Commit / Abort at the
+   tallying leader's current ballot. *)
+type tally = (Ids.site_id * (Sset.t * Sset.t)) list
+
+let tally_init cfg : tally =
+  List.map (fun rm -> (rm, (Sset.empty, Sset.empty))) cfg.all
+
+let tally_add (t : tally) ~rm ~acc ~v : tally =
+  List.map
+    (fun (r, (cs, ab)) ->
+      if r = rm then
+        match (v : decision) with
+        | Commit -> (r, (Sset.add acc cs, ab))
+        | Abort -> (r, (cs, Sset.add acc ab))
+      else (r, (cs, ab)))
+    t
+
+let tally_commit_chosen cfg (t : tally) =
+  List.filter_map
+    (fun (rm, (cs, _)) ->
+      if Sset.cardinal cs >= quorum cfg then Some rm else None)
+    t
+  |> Sset.of_list
+
+let tally_abort_chosen cfg (t : tally) =
+  List.exists (fun (_, (_, ab)) -> Sset.cardinal ab >= quorum cfg) t
+
+let tally_all_commit cfg (t : tally) =
+  List.for_all (fun (_, (cs, _)) -> Sset.cardinal cs >= quorum cfg) t
+
+(* Highest-ballot accepted value per instance across phase-1 reports. *)
+let merge_found found triples =
+  List.fold_left
+    (fun acc (rm, b, v) ->
+      match List.assoc_opt rm acc with
+      | Some (b', _) when epoch_compare b' b >= 0 -> acc
+      | _ -> (rm, (b, v)) :: List.remove_assoc rm acc)
+    found triples
+  |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
+
+(* A recovery leader proposes the highest accepted value for each
+   instance, and Abort for free instances. *)
+let proposal_of_found cfg found =
+  List.map
+    (fun rm ->
+      match List.assoc_opt rm found with
+      | Some (_, v) -> (rm, v)
+      | None -> (rm, Abort))
+    cfg.all
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator (ballot-0 leader, with embedded acceptor)               *)
+(* ------------------------------------------------------------------ *)
+
+type coord_phase =
+  | C_init
+  | C_collecting of { tally : tally }
+  | C_electing of {
+      ballot : epoch;
+      heard : Sset.t;
+      found : (Ids.site_id * (epoch * decision)) list;
+      blocked : bool;
+    }
+  | C_proposing of {
+      ballot : epoch;
+      proposal : (Ids.site_id * decision) list;
+      tally : tally;
+      blocked : bool;
+    }
+  | C_deposed  (* a higher ballot exists: poll for its outcome *)
+  | C_logging_decision of { d : decision; notify : Sset.t; ackers : Sset.t }
+  | C_decided of { d : decision; await_acks : Sset.t }
+  | C_done of decision
+
+type coord = {
+  c_cfg : config;
+  c_self : Ids.site_id;
+  c_timeouts : timeouts;
+  c_acc : acceptor;
+  c_refused : Sset.t;  (* participants whose own ballot-0 vote was Abort *)
+  c_phase : coord_phase;
+}
+
+let c_parts c = Sset.of_list c.c_cfg.all
+
+let coordinator ~config ~self ~timeouts =
+  if self <> config.coordinator then
+    invalid_arg "Paxos_commit.coordinator: self is not the configured leader";
+  {
+    c_cfg = config;
+    c_self = self;
+    c_timeouts = timeouts;
+    c_acc = acc_init config;
+    c_refused = Sset.empty;
+    c_phase = C_init;
+  }
+
+let coord_decision c =
+  match c.c_phase with
+  | C_logging_decision { d; _ } | C_decided { d; _ } | C_done d -> Some d
+  | _ -> None
+
+let coord_blocked c =
+  match c.c_phase with
+  | C_electing { blocked; _ } | C_proposing { blocked; _ } -> blocked
+  | _ -> false
+
+(* Move to the decision: forced log, then distribute.  [skip] holds
+   participants that must not be notified — refusers already aborted
+   locally, and a participant whose failure triggered the abort is down
+   (exactly 2PC's recipients = yes U pending discipline). *)
+let coord_decide c ~tally d ~skip =
+  let chosen = tally_commit_chosen c.c_cfg tally in
+  let notify =
+    match (d : decision) with
+    | Commit -> c_parts c
+    | Abort -> Sset.diff (c_parts c) skip
+  in
+  let ackers =
+    match (d : decision) with Commit -> c_parts c | Abort -> chosen
+  in
+  ( { c with c_phase = C_logging_decision { d; notify; ackers } },
+    [ Clear_timer T_votes; Clear_timer T_state; Clear_timer T_precommit_ack;
+      Log (L_decision d, `Forced) ] )
+
+let coord_check c ~tally ~mk =
+  if tally_abort_chosen c.c_cfg tally then
+    coord_decide c ~tally Abort ~skip:c.c_refused
+  else if tally_all_commit c.c_cfg tally then
+    coord_decide c ~tally Commit ~skip:Sset.empty
+  else (mk tally, [])
+
+(* Begin phase 2 of a recovery ballot: propose every instance, accepting
+   our own proposals through the embedded acceptor.  With F = 0 we are
+   the only acceptor, so this decides in the same step. *)
+let coord_propose c ~ballot ~found =
+  let proposal = proposal_of_found c.c_cfg found in
+  let others = List.filter (fun a -> a <> c.c_self) c.c_cfg.acceptors in
+  let sends =
+    List.concat_map
+      (fun (rm, v) ->
+        List.map (fun a -> Send (a, Px_p2a (ballot, rm, v))) others)
+      proposal
+  in
+  let acc, tally =
+    List.fold_left
+      (fun (acc, tally) (rm, v) ->
+        match acc_p2a acc ~ballot ~rm ~v with
+        | acc, `P2b v' -> (acc, tally_add tally ~rm ~acc:c.c_self ~v:v')
+        | acc, `Nack _ -> (acc, tally))
+      (c.c_acc, tally_init c.c_cfg)
+      proposal
+  in
+  let c = { c with c_acc = acc } in
+  let c, actions =
+    coord_check c ~tally ~mk:(fun tally ->
+        { c with
+          c_phase = C_proposing { ballot; proposal; tally; blocked = false } })
+  in
+  match c.c_phase with
+  | C_proposing _ ->
+      ( c,
+        sends
+        @ [ Set_timer (T_precommit_ack, c.c_timeouts.decision_wait) ]
+        @ actions )
+  | _ -> (c, sends @ actions)
+
+(* Usurp our own stalled ballot: run phase 1 at the next round.  With
+   F = 0 the self-promise is the whole quorum and the election, proposal
+   and decision all collapse into this one step — exactly 2PC's
+   timeout-abort. *)
+let coord_elect c =
+  let ballot = (fst c.c_acc.ax_promised + 1, c.c_self) in
+  let acc, rep = acc_p1a c.c_acc ~ballot in
+  let c = { c with c_acc = acc } in
+  let found =
+    match rep with `P1b triples -> merge_found [] triples | `Nack _ -> []
+  in
+  let heard = Sset.singleton c.c_self in
+  if Sset.cardinal heard >= quorum c.c_cfg then coord_propose c ~ballot ~found
+  else
+    let others = List.filter (fun a -> a <> c.c_self) c.c_cfg.acceptors in
+    ( { c with c_phase = C_electing { ballot; heard; found; blocked = false } },
+      List.map (fun a -> Send (a, Px_p1a ballot)) others
+      @ [ Set_timer (T_state, c.c_timeouts.decision_wait) ] )
+
+(* Yield to a higher-ballot leader: keep polling for the outcome so the
+   origin's client still learns it even if the rival's broadcast to us is
+   lost. *)
+let coord_yield c =
+  ( { c with c_phase = C_deposed },
+    [ Clear_timer T_votes; Clear_timer T_state; Clear_timer T_precommit_ack ]
+    @ send_to (c_parts c) Decision_req
+    @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
+
+let coord_our_ballot c =
+  match c.c_phase with
+  | C_electing { ballot; _ } | C_proposing { ballot; _ } -> ballot
+  | _ -> ballot0 c.c_cfg
+
+(* Serve the embedded acceptor for a rival leader's phase-1 message and
+   step aside ([coord_yield]) if its ballot beats ours. *)
+let coord_acc_p1a c src b =
+  let acc, rep = acc_p1a c.c_acc ~ballot:b in
+  let our = coord_our_ballot c in
+  let c = { c with c_acc = acc } in
+  match rep with
+  | `P1b triples ->
+      let reply = [ Send (src, Px_p1b (b, triples)) ] in
+      if epoch_compare b our > 0 then
+        let c, actions = coord_yield c in
+        (c, reply @ actions)
+      else (c, reply)
+  | `Nack promised -> (c, [ Send (src, Px_nack promised) ])
+
+let coord_acc_p2a c src (b, rm, v) =
+  let acc, rep = acc_p2a c.c_acc ~ballot:b ~rm ~v in
+  let our = coord_our_ballot c in
+  let c = { c with c_acc = acc } in
+  match rep with
+  | `P2b v' ->
+      let reply = [ Send (snd b, Px_p2b (b, rm, v')) ] in
+      if epoch_compare b our > 0 then
+        let c, actions = coord_yield c in
+        (c, reply @ actions)
+      else (c, reply)
+  | `Nack promised -> (c, [ Send (src, Px_nack promised) ])
+
+let coord_step c input =
+  match (c.c_phase, input) with
+  | C_init, Start ->
+      ( { c with c_phase = C_collecting { tally = tally_init c.c_cfg } },
+        send_to (c_parts c) Vote_req
+        @ [ Set_timer (T_votes, c.c_timeouts.vote_collect) ] )
+  (* Ballot 0: participants drive their own instances.  Their phase-2a
+     reaches us directly (we are an acceptor); other acceptors forward
+     phase-2b acknowledgements. *)
+  | C_collecting { tally }, Recv (_src, Px_p2a (b, rm, v))
+    when epoch_compare b (ballot0 c.c_cfg) = 0 -> (
+      match (v : decision) with
+      | Abort ->
+          (* The participant refused: it already aborted locally, exactly
+             like a 2PC No-voter — decide without waiting for a quorum
+             (no Commit can ever enter its instance). *)
+          let c = { c with c_refused = Sset.add rm c.c_refused } in
+          coord_decide c ~tally Abort ~skip:c.c_refused
+      | Commit -> (
+          match acc_p2a c.c_acc ~ballot:b ~rm ~v with
+          | acc, `P2b v' ->
+              let c = { c with c_acc = acc } in
+              let tally = tally_add tally ~rm ~acc:c.c_self ~v:v' in
+              coord_check c ~tally ~mk:(fun tally ->
+                  { c with c_phase = C_collecting { tally } })
+          | _, `Nack _ ->
+              (* A recovery ballot already fenced ballot 0; our own
+                 timeout will terminate the transaction. *)
+              (c, [])))
+  | C_collecting { tally }, Recv (src, Px_p2b (b, rm, v))
+    when epoch_compare b (ballot0 c.c_cfg) = 0 -> (
+      match (v : decision) with
+      | Abort ->
+          let c = { c with c_refused = Sset.add rm c.c_refused } in
+          coord_decide c ~tally Abort ~skip:c.c_refused
+      | Commit ->
+          let tally = tally_add tally ~rm ~acc:src ~v in
+          coord_check c ~tally ~mk:(fun tally ->
+              { c with c_phase = C_collecting { tally } }))
+  | C_collecting _, Timeout T_votes -> coord_elect c
+  | C_collecting { tally }, Peer_down p
+    when (not (Sset.mem p (tally_commit_chosen c.c_cfg tally)))
+         && not (Sset.mem p c.c_refused) -> (
+      (* A participant with an undecided instance died: abort now rather
+         than wait out the vote timer (2PC's pending-peer rule).  Its
+         instance is free, so the election chooses Abort for it. *)
+      let c, actions = coord_elect c in
+      match c.c_phase with
+      | C_logging_decision { d = Abort; notify; ackers } ->
+          ( { c with
+              c_phase =
+                C_logging_decision
+                  { d = Abort; notify = Sset.remove p notify; ackers } },
+            actions )
+      | _ -> (c, actions))
+  (* Recovery-ballot phases. *)
+  | ( C_electing { ballot; heard; found; blocked },
+      Recv (src, Px_p1b (b, triples)) )
+    when epoch_compare b ballot = 0
+         && List.mem src c.c_cfg.acceptors
+         && not (Sset.mem src heard) ->
+      let heard = Sset.add src heard in
+      let found = merge_found found triples in
+      if Sset.cardinal heard >= quorum c.c_cfg then
+        coord_propose c ~ballot ~found
+      else
+        ({ c with c_phase = C_electing { ballot; heard; found; blocked } }, [])
+  | C_electing ({ ballot; heard; blocked; _ } as e), Timeout T_state ->
+      let unheard =
+        List.filter
+          (fun a -> a <> c.c_self && not (Sset.mem a heard))
+          c.c_cfg.acceptors
+      in
+      ( { c with c_phase = C_electing { e with blocked = true } },
+        List.map (fun a -> Send (a, Px_p1a ballot)) unheard
+        @ [ Set_timer (T_state, c.c_timeouts.decision_wait) ]
+        @ (if blocked then [] else [ Blocked ]) )
+  | ( C_proposing { ballot; proposal; tally; blocked },
+      Recv (src, Px_p2b (b, rm, v)) )
+    when epoch_compare b ballot = 0 && List.mem src c.c_cfg.acceptors ->
+      let tally = tally_add tally ~rm ~acc:src ~v in
+      coord_check c ~tally ~mk:(fun tally ->
+          { c with c_phase = C_proposing { ballot; proposal; tally; blocked } })
+  | C_proposing { ballot; proposal; tally; blocked }, Timeout T_precommit_ack
+    ->
+      let resend =
+        List.concat_map
+          (fun (rm, v) ->
+            let cs, ab = List.assoc rm tally in
+            List.filter_map
+              (fun a ->
+                if a = c.c_self || Sset.mem a cs || Sset.mem a ab then None
+                else Some (Send (a, Px_p2a (ballot, rm, v))))
+              c.c_cfg.acceptors)
+          proposal
+      in
+      ( { c with
+          c_phase = C_proposing { ballot; proposal; tally; blocked = true } },
+        resend
+        @ [ Set_timer (T_precommit_ack, c.c_timeouts.decision_wait) ]
+        @ (if blocked then [] else [ Blocked ]) )
+  (* Rival leaders: serve the embedded acceptor and step aside when their
+     ballot beats ours.  (Ballot-0 phase-2a is matched above.) *)
+  | (C_collecting _ | C_electing _ | C_proposing _ | C_deposed),
+    Recv (src, Px_p1a b) ->
+      coord_acc_p1a c src b
+  | (C_collecting _ | C_electing _ | C_proposing _ | C_deposed),
+    Recv (src, Px_p2a (b, rm, v)) ->
+      coord_acc_p2a c src (b, rm, v)
+  | (C_electing _ | C_proposing _), Recv (_, Px_nack b)
+    when epoch_compare b (coord_our_ballot c) > 0 ->
+      coord_yield c
+  (* Decision plumbing (2PC-shaped). *)
+  | C_logging_decision { d; notify; ackers }, Log_done (L_decision d')
+    when decision_equal d d' ->
+      let sends = send_to notify (Decision_msg d) in
+      if Sset.is_empty ackers then
+        ( { c with c_phase = C_done d },
+          sends @ [ Log (L_end, `Lazy); Deliver d ] )
+      else
+        ( { c with c_phase = C_decided { d; await_acks = ackers } },
+          sends
+          @ [ Set_timer (T_resend, c.c_timeouts.resend_every); Deliver d ] )
+  | C_decided { d; await_acks }, Recv (src, Decision_ack) ->
+      let await_acks = Sset.remove src await_acks in
+      if Sset.is_empty await_acks then
+        ( { c with c_phase = C_done d },
+          [ Clear_timer T_resend; Log (L_end, `Lazy) ] )
+      else ({ c with c_phase = C_decided { d; await_acks } }, [])
+  | C_decided { d; await_acks }, Timeout T_resend ->
+      ( c,
+        send_to await_acks (Decision_msg d)
+        @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
+  | C_deposed, Timeout T_resend ->
+      ( c,
+        send_to (c_parts c) Decision_req
+        @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
+  | C_deposed, Recv (_, Decision_msg d) ->
+      ( { c with c_phase = C_done d },
+        [ Clear_timer T_resend; Deliver d; Log (L_decision d, `Lazy) ] )
+  (* A recovery leader out-decided us while we were still on ballot 0 or
+     mid-election: adopt the outcome (our pre-decision traffic is ballot-
+     fenced, so without adoption we would resend forever). *)
+  | ( (C_init | C_collecting _ | C_electing _ | C_proposing _),
+      Recv (_, Decision_msg d) ) ->
+      ( { c with c_phase = C_done d },
+        [ Clear_timer T_votes; Clear_timer T_state; Clear_timer T_precommit_ack;
+          Clear_timer T_resend; Deliver d; Log (L_decision d, `Lazy) ] )
+  | (C_decided { d; _ } | C_done d), Recv (src, Decision_req) ->
+      (c, [ Send (src, Decision_msg d) ])
+  | (C_decided _ | C_done _), Recv (_, Px_p2a (b, _, _))
+    when epoch_compare b (ballot0 c.c_cfg) = 0 ->
+      (* A straggling ballot-0 vote after the decision: ignore it, like
+         2PC ignores a late Vote_yes (the voter learns the outcome from
+         the normal distribution). *)
+      (c, [])
+  | (C_decided { d; _ } | C_done d), Recv (src, (Px_p1a _ | Px_p2a _))
+    when not (degenerate c.c_cfg) ->
+      (* Help a stale recovery leader terminate.  (With F = 0 there are
+         no rival leaders; stay 2PC-aligned and ignore late votes.) *)
+      (c, [ Send (src, Decision_msg d) ])
+  | _, Recv (src, Decision_req) ->
+      if degenerate c.c_cfg then (c, [ Send (src, Decision_unknown) ])
+      else
+        (* Undecided but alive: our own timeouts will terminate us, and
+           "unknown" is the participants' cue to usurp — reserve it for
+           genuinely amnesiac sites. *)
+        (c, [])
+  | _, (Recv _ | Timeout _ | Log_done _ | Peer_down _ | Peers_reachable _
+       | Start) ->
+      (c, [])
+
+(* Rebuild from the write-ahead log.  A logged decision is redistributed
+   until acknowledged.  Nothing logged means no decision was ever
+   distributed; with F = 0 the lost acceptor state was ours alone, so the
+   2PC-PrN presumption (abort) is sound.  With F > 0 the caller must NOT
+   rebuild a coordinator from an empty log: a recovery leader may have
+   decided meanwhile, so the site must answer [Decision_unknown] and let
+   the participants' election terminate the transaction. *)
+let coordinator_recovered ~config ~self ~timeouts ~logged =
+  let c = coordinator ~config ~self ~timeouts in
+  match logged with
+  | `Decision (d : decision) ->
+      { c with c_phase = C_decided { d; await_acks = c_parts c } }
+  | `Nothing ->
+      if not (degenerate config) then
+        invalid_arg "Paxos_commit.coordinator_recovered: empty log with F > 0";
+      { c with c_phase = C_done Abort }
+
+(* Kick a recovered coordinator: re-distribute the pending decision. *)
+let coord_step c input =
+  match (c.c_phase, input) with
+  | C_decided { d; await_acks }, Start ->
+      ( c,
+        send_to await_acks (Decision_msg d)
+        @ [ Set_timer (T_resend, c.c_timeouts.resend_every) ] )
+  | _ -> coord_step c input
+
+(* ------------------------------------------------------------------ *)
+(* Participant (resource manager, optionally an acceptor)              *)
+(* ------------------------------------------------------------------ *)
+
+type base =
+  | B_idle
+  | B_logging_prepared
+  | B_uncertain
+  | B_logging_outcome of { d : decision; ack : bool }
+  | B_finished of decision
+
+type leader_phase =
+  | L_electing of {
+      heard : Sset.t;
+      found : (Ids.site_id * (epoch * decision)) list;
+    }
+  | L_proposing of { proposal : (Ids.site_id * decision) list; tally : tally }
+
+type role = R_normal | R_follower | R_leader of leader_phase
+
+type part = {
+  x_cfg : config;
+  x_self : Ids.site_id;
+  x_vote : bool;
+  x_timeouts : timeouts;
+  x_up : Sset.t;  (* participants currently reachable, self included *)
+  x_ballot : epoch;  (* highest ballot seen; ours while leading *)
+  x_base : base;
+  x_role : role;
+  x_blocked : bool;
+  x_acc : acceptor option;  (* Some iff an acceptor (volatile: lost on crash) *)
+}
+
+let participant ~config ~self ~vote ~timeouts =
+  {
+    x_cfg = config;
+    x_self = self;
+    x_vote = vote;
+    x_timeouts = timeouts;
+    x_up = Sset.of_list config.all;
+    x_ballot = ballot0 config;
+    x_base = B_idle;
+    x_role = R_normal;
+    x_blocked = false;
+    x_acc =
+      (if List.mem self config.acceptors && self <> config.coordinator then
+         Some (acc_init config)
+       else None);
+  }
+
+let part_decision p =
+  match p.x_base with
+  | B_logging_outcome { d; _ } | B_finished d -> Some d
+  | _ -> None
+
+let part_state p =
+  match p.x_base with
+  | B_idle | B_logging_prepared | B_uncertain -> P_uncertain
+  | B_logging_outcome { d = Commit; _ } | B_finished Commit -> P_committed
+  | B_logging_outcome { d = Abort; _ } | B_finished Abort -> P_aborted
+
+let part_blocked p = p.x_blocked
+
+let part_reachable_update p ~up =
+  let up = Sset.add p.x_self (Sset.of_list up) in
+  { p with x_up = Sset.inter up (Sset.of_list p.x_cfg.all) }
+
+(* Eligible election leaders: reachable participants other than the
+   coordinator's own site (its leadership runs in the coordinator
+   machine; keeping the two separated keeps ballot identities unique). *)
+let candidates p = Sset.remove p.x_cfg.coordinator p.x_up
+
+let log_outcome p d ~ack =
+  match p.x_base with
+  | B_logging_outcome _ | B_finished _ -> (p, [])
+  | B_idle | B_logging_prepared | B_uncertain ->
+      ( { p with x_base = B_logging_outcome { d; ack }; x_blocked = false },
+        [ Clear_timer T_decision; Clear_timer T_resend; Clear_timer T_state;
+          Clear_timer T_precommit_ack; Log (L_decision d, `Forced) ] )
+
+(* Cooperative termination for F = 0: ask the coordinator and every peer
+   (2PC's discipline, verbatim). *)
+let ask_around p =
+  Send (p.x_cfg.coordinator, Decision_req)
+  :: List.filter_map
+       (fun peer ->
+         if peer = p.x_self || peer = p.x_cfg.coordinator then None
+         else Some (Send (peer, Decision_req)))
+       p.x_cfg.all
+
+let leader_blocked p =
+  ( { p with x_role = R_follower; x_blocked = true },
+    [ Set_timer (T_resend, p.x_timeouts.resend_every) ]
+    @ (if p.x_blocked then [] else [ Blocked ]) )
+
+let leader_decided p d = log_outcome p d ~ack:false
+
+let leader_check p ~tally ~mk =
+  if tally_abort_chosen p.x_cfg tally then leader_decided p Abort
+  else if tally_all_commit p.x_cfg tally then leader_decided p Commit
+  else (mk tally, [])
+
+let part_propose p ~found =
+  let ballot = p.x_ballot in
+  let proposal = proposal_of_found p.x_cfg found in
+  let others = List.filter (fun a -> a <> p.x_self) p.x_cfg.acceptors in
+  let sends =
+    List.concat_map
+      (fun (rm, v) ->
+        List.map (fun a -> Send (a, Px_p2a (ballot, rm, v))) others)
+      proposal
+  in
+  let acc, tally =
+    match p.x_acc with
+    | None -> (None, tally_init p.x_cfg)
+    | Some a ->
+        let a, tally =
+          List.fold_left
+            (fun (a, tally) (rm, v) ->
+              match acc_p2a a ~ballot ~rm ~v with
+              | a, `P2b v' -> (a, tally_add tally ~rm ~acc:p.x_self ~v:v')
+              | a, `Nack _ -> (a, tally))
+            (a, tally_init p.x_cfg)
+            proposal
+        in
+        (Some a, tally)
+  in
+  let p = { p with x_acc = acc } in
+  let p, actions =
+    leader_check p ~tally ~mk:(fun tally ->
+        { p with x_role = R_leader (L_proposing { proposal; tally }) })
+  in
+  match p.x_role with
+  | R_leader (L_proposing _) ->
+      ( p,
+        sends
+        @ [ Set_timer (T_precommit_ack, p.x_timeouts.decision_wait) ]
+        @ actions )
+  | _ -> (p, sends @ actions)
+
+let become_leader p =
+  let ballot = (fst p.x_ballot + 1, p.x_self) in
+  let p = { p with x_ballot = ballot } in
+  let p, heard, found =
+    match p.x_acc with
+    | None -> (p, Sset.empty, [])
+    | Some a ->
+        let a, rep = acc_p1a a ~ballot in
+        let found =
+          match rep with `P1b t -> merge_found [] t | `Nack _ -> []
+        in
+        ({ p with x_acc = Some a }, Sset.singleton p.x_self, found)
+  in
+  if Sset.cardinal heard >= quorum p.x_cfg then part_propose p ~found
+  else
+    let others = List.filter (fun a -> a <> p.x_self) p.x_cfg.acceptors in
+    ( { p with x_role = R_leader (L_electing { heard; found }) },
+      List.map (fun a -> Send (a, Px_p1a ballot)) others
+      @ [ Set_timer (T_state, p.x_timeouts.decision_wait) ] )
+
+let start_termination p =
+  match Sset.min_elt_opt (candidates p) with
+  | Some l when l = p.x_self -> become_leader p
+  | Some _ | None ->
+      ( { p with x_role = R_follower },
+        send_to
+          (Sset.add p.x_cfg.coordinator (Sset.remove p.x_self p.x_up))
+          Decision_req
+        @ [ Set_timer (T_resend, p.x_timeouts.resend_every) ] )
+
+(* Serve the embedded acceptor; a rival ballot at or above ours dethrones
+   any local leadership (mirroring quorum commit's epoch rule). *)
+let part_acc_demote p src b =
+  let p =
+    if epoch_compare b p.x_ballot > 0 then { p with x_ballot = b } else p
+  in
+  match p.x_role with
+  | R_leader _ when src <> p.x_self && epoch_compare b p.x_ballot >= 0 ->
+      ( { p with x_role = R_follower },
+        [ Clear_timer T_state; Clear_timer T_precommit_ack;
+          Set_timer (T_resend, p.x_timeouts.resend_every) ] )
+  | _ -> (p, [])
+
+let part_acc_p1a p src b =
+  match p.x_acc with
+  | None -> (p, [])
+  | Some a -> (
+      let a, rep = acc_p1a a ~ballot:b in
+      let p = { p with x_acc = Some a } in
+      match rep with
+      | `P1b triples ->
+          let p, demote = part_acc_demote p src b in
+          (p, Send (src, Px_p1b (b, triples)) :: demote)
+      | `Nack promised -> (p, [ Send (src, Px_nack promised) ]))
+
+let part_acc_p2a p src (b, rm, v) =
+  match p.x_acc with
+  | None -> (p, [])
+  | Some a -> (
+      let a, rep = acc_p2a a ~ballot:b ~rm ~v in
+      let p = { p with x_acc = Some a } in
+      match rep with
+      | `P2b v' ->
+          let p, demote = part_acc_demote p src b in
+          (p, Send (snd b, Px_p2b (b, rm, v')) :: demote)
+      | `Nack promised -> (p, [ Send (src, Px_nack promised) ]))
+
+(* Broadcast our own vote as ballot-0 phase 2a.  If we are ourselves an
+   acceptor, accept it locally and acknowledge straight to ballot 0's
+   leader (the coordinator); otherwise the coordinator-site acceptor is
+   included in the fan-out (with F = 0 it is the only acceptor, so this
+   is exactly 2PC's single vote message). *)
+let cast_vote p (v : decision) =
+  let b0 = ballot0 p.x_cfg in
+  let targets =
+    match p.x_acc with
+    | Some _ -> List.filter (fun a -> a <> p.x_self) p.x_cfg.acceptors
+    | None -> p.x_cfg.acceptors
+  in
+  let sends = List.map (fun a -> Send (a, Px_p2a (b0, p.x_self, v))) targets in
+  match p.x_acc with
+  | None -> (p, sends)
+  | Some a -> (
+      match acc_p2a a ~ballot:b0 ~rm:p.x_self ~v with
+      | a, `P2b v' ->
+          ( { p with x_acc = Some a },
+            sends @ [ Send (p.x_cfg.coordinator, Px_p2b (b0, p.x_self, v')) ] )
+      | a, `Nack _ -> ({ p with x_acc = Some a }, sends))
+
+let part_step p input =
+  match (p.x_base, p.x_role, input) with
+  | base, role, Peer_down s -> (
+      let p = { p with x_up = Sset.remove s p.x_up } in
+      match (base, role) with
+      | B_uncertain, R_normal
+        when (not (degenerate p.x_cfg)) && s = p.x_cfg.coordinator ->
+          start_termination p
+      | _ -> (p, []))
+  | _, _, Peers_reachable up -> (part_reachable_update p ~up, [])
+  (* Voting. *)
+  | B_idle, R_normal, Recv (_, Vote_req) ->
+      if p.x_vote then
+        ({ p with x_base = B_logging_prepared }, [ Log (L_prepared, `Forced) ])
+      else
+        (* Refuse: our instance gets Abort and we abort unilaterally —
+           no recovery leader can ever choose Commit for it. *)
+        let p, sends = cast_vote p Abort in
+        ( { p with x_base = B_finished Abort },
+          sends @ [ Log (L_decision Abort, `Lazy); Deliver Abort ] )
+  | B_logging_prepared, R_normal, Log_done L_prepared ->
+      let p, sends = cast_vote p Commit in
+      ( { p with x_base = B_uncertain },
+        sends @ [ Set_timer (T_decision, p.x_timeouts.decision_wait) ] )
+  (* The outcome. *)
+  | (B_idle | B_logging_prepared | B_uncertain), _, Recv (_, Decision_msg d)
+    ->
+      log_outcome p d ~ack:true
+  | B_logging_outcome { d; ack }, _, Log_done (L_decision d')
+    when decision_equal d d' ->
+      (* Acks always go to the origin coordinator — it is the only
+         distributor that awaits them (a recovered one resends until the
+         full roster answers); leaders broadcast without collecting. *)
+      let ack =
+        if ack then [ Send (p.x_cfg.coordinator, Decision_ack) ] else []
+      in
+      let broadcast =
+        match p.x_role with
+        | R_leader _ ->
+            send_to
+              (Sset.add p.x_cfg.coordinator (Sset.remove p.x_self p.x_up))
+              (Decision_msg d)
+        | R_normal | R_follower -> []
+      in
+      ( { p with x_base = B_finished d; x_role = R_normal },
+        ack @ broadcast @ [ Deliver d ] )
+  | B_finished d, _, Recv (_, Decision_msg d') when decision_equal d d' ->
+      (* The coordinator missed our ack and is resending: re-ack. *)
+      (p, [ Send (p.x_cfg.coordinator, Decision_ack) ])
+  (* Uncertainty timeouts. *)
+  | B_uncertain, (R_normal | R_follower), Timeout T_decision ->
+      if degenerate p.x_cfg then
+        ( { p with x_blocked = true },
+          ask_around p
+          @ [ Set_timer (T_resend, p.x_timeouts.resend_every); Blocked ] )
+      else start_termination p
+  | B_uncertain, (R_normal | R_follower), Timeout T_resend ->
+      if degenerate p.x_cfg then
+        (p, ask_around p @ [ Set_timer (T_resend, p.x_timeouts.resend_every) ])
+      else start_termination p
+  (* Leader: phase 1 and phase 2 bookkeeping. *)
+  | _, R_leader (L_electing { heard; found }), Recv (src, Px_p1b (b, triples))
+    when epoch_compare b p.x_ballot = 0
+         && List.mem src p.x_cfg.acceptors
+         && not (Sset.mem src heard) ->
+      let heard = Sset.add src heard in
+      let found = merge_found found triples in
+      if Sset.cardinal heard >= quorum p.x_cfg then part_propose p ~found
+      else ({ p with x_role = R_leader (L_electing { heard; found }) }, [])
+  | ( _,
+      R_leader (L_proposing { proposal; tally }),
+      Recv (src, Px_p2b (b, rm, v)) )
+    when epoch_compare b p.x_ballot = 0 && List.mem src p.x_cfg.acceptors ->
+      let tally = tally_add tally ~rm ~acc:src ~v in
+      leader_check p ~tally ~mk:(fun tally ->
+          { p with x_role = R_leader (L_proposing { proposal; tally }) })
+  | _, R_leader _, Timeout (T_state | T_precommit_ack) -> leader_blocked p
+  | _, R_leader _, Recv (_, Px_nack b) when epoch_compare b p.x_ballot > 0 ->
+      ( { p with x_ballot = b; x_role = R_follower },
+        [ Clear_timer T_state; Clear_timer T_precommit_ack;
+          Set_timer (T_resend, p.x_timeouts.resend_every) ] )
+  (* Acceptor duties are independent of the RM's own progress: serving a
+     ballot is always safe, and keeps replies deterministic no matter
+     when straggling traffic arrives.  (Acceptor-less participants stay
+     silent — leaders only ever address acceptors.) *)
+  | _, _, Recv (src, Px_p1a b) -> part_acc_p1a p src b
+  | _, _, Recv (src, Px_p2a (b, rm, v)) -> part_acc_p2a p src (b, rm, v)
+  (* Termination inquiries. *)
+  | B_finished d, _, Recv (src, Decision_req) ->
+      (p, [ Send (src, Decision_msg d) ])
+  | B_idle, _, Recv (src, Decision_req) ->
+      (p, [ Send (src, Decision_unknown) ])
+  | (B_logging_prepared | B_uncertain), _, Recv (src, Decision_req) ->
+      if degenerate p.x_cfg then (p, [ Send (src, Decision_unknown) ])
+      else
+        (* Holding live protocol state: stay silent; we can run (or are
+           running) the election ourselves, and "unknown" would only
+           cause usurpation churn. *)
+        (p, [])
+  (* An amnesiac presumptive leader cannot terminate the transaction for
+     us — usurp it (quorum commit's hardened rule). *)
+  | B_uncertain, (R_normal | R_follower), Recv (src, Decision_unknown)
+    when (not (degenerate p.x_cfg))
+         && Sset.min_elt_opt (candidates p) = Some src ->
+      become_leader p
+  | _, _, (Recv _ | Timeout _ | Log_done _ | Start) -> (p, [])
+
+let participant_recovered ~config ~self ~state ~timeouts =
+  let base =
+    match state with
+    | P_uncertain | P_precommitted | P_preaborted -> B_uncertain
+    | P_committed -> B_finished Commit
+    | P_aborted -> B_finished Abort
+  in
+  let p = participant ~config ~self ~vote:true ~timeouts in
+  (* Acceptor state was volatile: a recovered acceptor must abstain
+     forever (it may have promised or accepted before the crash), which
+     is indistinguishable from staying down — 2F+1 acceptors tolerate F
+     such losses. *)
+  { p with x_base = base; x_acc = None }
+
+(* A recovered participant starts termination on [Start]. *)
+let part_step p input =
+  match (input, p.x_base, p.x_role) with
+  | Start, B_uncertain, R_normal ->
+      if degenerate p.x_cfg then
+        (p, ask_around p @ [ Set_timer (T_resend, p.x_timeouts.resend_every) ])
+      else start_termination p
+  | _ -> part_step p input
+
+(* ------------------------------------------------------------------ *)
+(* Canonical description (explorer state fingerprinting)               *)
+(* ------------------------------------------------------------------ *)
+
+let set_str s = String.concat "," (List.map string_of_int (Sset.elements s))
+let dec_str = function Commit -> "C" | Abort -> "A"
+let epoch_str (r, s) = Printf.sprintf "%d.%d" r s
+
+let cfg_str c =
+  Printf.sprintf "all=%s;co=%d;f=%d;acc=%s"
+    (String.concat "," (List.map string_of_int c.all))
+    c.coordinator c.f
+    (String.concat "," (List.map string_of_int c.acceptors))
+
+let acc_str a =
+  Printf.sprintf "pr=%s;acc=%s" (epoch_str a.ax_promised)
+    (String.concat ","
+       (List.map
+          (fun (rm, (b, v)) ->
+            Printf.sprintf "%d@%s=%s" rm (epoch_str b) (dec_str v))
+          a.ax_accepted))
+
+let tally_str (t : tally) =
+  String.concat ","
+    (List.map
+       (fun (rm, (cs, ab)) ->
+         Printf.sprintf "%d:c=%s;a=%s" rm (set_str cs) (set_str ab))
+       t)
+
+let found_str found =
+  String.concat ","
+    (List.map
+       (fun (rm, (b, v)) ->
+         Printf.sprintf "%d@%s=%s" rm (epoch_str b) (dec_str v))
+       found)
+
+let proposal_str prop =
+  String.concat ","
+    (List.map (fun (rm, v) -> Printf.sprintf "%d=%s" rm (dec_str v)) prop)
+
+let describe_coord c =
+  let phase =
+    match c.c_phase with
+    | C_init -> "init"
+    | C_collecting { tally } ->
+        Printf.sprintf "collecting{%s}" (tally_str tally)
+    | C_electing { ballot; heard; found; blocked } ->
+        Printf.sprintf "electing{b=%s;h=%s;f=%s;bl=%b}" (epoch_str ballot)
+          (set_str heard) (found_str found) blocked
+    | C_proposing { ballot; proposal; tally; blocked } ->
+        Printf.sprintf "proposing{b=%s;p=%s;t=%s;bl=%b}" (epoch_str ballot)
+          (proposal_str proposal) (tally_str tally) blocked
+    | C_deposed -> "deposed"
+    | C_logging_decision { d; notify; ackers } ->
+        Printf.sprintf "logging-decision{%s;n=%s;a=%s}" (dec_str d)
+          (set_str notify) (set_str ackers)
+    | C_decided { d; await_acks } ->
+        Printf.sprintf "decided{%s;a=%s}" (dec_str d) (set_str await_acks)
+    | C_done d -> Printf.sprintf "done{%s}" (dec_str d)
+  in
+  Printf.sprintf "px-coord:%s:self=%d:acc=%s:ref=%s:%s" (cfg_str c.c_cfg)
+    c.c_self (acc_str c.c_acc) (set_str c.c_refused) phase
+
+let describe_part p =
+  let base =
+    match p.x_base with
+    | B_idle -> "idle"
+    | B_logging_prepared -> "logging-prepared"
+    | B_uncertain -> "uncertain"
+    | B_logging_outcome { d; ack } ->
+        Printf.sprintf "logging-outcome{%s;ack=%b}" (dec_str d) ack
+    | B_finished d -> Printf.sprintf "finished{%s}" (dec_str d)
+  in
+  let role =
+    match p.x_role with
+    | R_normal -> "normal"
+    | R_follower -> "follower"
+    | R_leader (L_electing { heard; found }) ->
+        Printf.sprintf "leader-electing{h=%s;f=%s}" (set_str heard)
+          (found_str found)
+    | R_leader (L_proposing { proposal; tally }) ->
+        Printf.sprintf "leader-proposing{p=%s;t=%s}" (proposal_str proposal)
+          (tally_str tally)
+  in
+  Printf.sprintf "px-part:%s:%d:v=%b:up=%s:b=%s:bl=%b:acc=%s:%s:%s"
+    (cfg_str p.x_cfg) p.x_self p.x_vote (set_str p.x_up)
+    (epoch_str p.x_ballot) p.x_blocked
+    (match p.x_acc with None -> "-" | Some a -> acc_str a)
+    base role

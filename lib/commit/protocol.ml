@@ -29,6 +29,11 @@ type msg =
   | Pq_precommit_ack of epoch
   | Pq_preabort of epoch
   | Pq_preabort_ack of epoch
+  | Px_p1a of epoch
+  | Px_p1b of epoch * (Ids.site_id * epoch * decision) list
+  | Px_p2a of epoch * Ids.site_id * decision
+  | Px_p2b of epoch * Ids.site_id * decision
+  | Px_nack of epoch
 
 and participant_state =
   | P_uncertain
@@ -72,6 +77,22 @@ let pp_msg fmt = function
   | Pq_precommit_ack e -> Format.fprintf fmt "pq-precommit-ack(%a)" pp_epoch e
   | Pq_preabort e -> Format.fprintf fmt "pq-preabort(%a)" pp_epoch e
   | Pq_preabort_ack e -> Format.fprintf fmt "pq-preabort-ack(%a)" pp_epoch e
+  | Px_p1a b -> Format.fprintf fmt "px-p1a(%a)" pp_epoch b
+  | Px_p1b (b, accs) ->
+      Format.fprintf fmt "px-p1b(%a,[%a])" pp_epoch b
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ";")
+           (fun fmt (rm, ab, v) ->
+             Format.fprintf fmt "%a@%a=%a" Ids.pp_site rm pp_epoch ab
+               pp_decision v))
+        accs
+  | Px_p2a (b, rm, v) ->
+      Format.fprintf fmt "px-p2a(%a,%a,%a)" pp_epoch b Ids.pp_site rm
+        pp_decision v
+  | Px_p2b (b, rm, v) ->
+      Format.fprintf fmt "px-p2b(%a,%a,%a)" pp_epoch b Ids.pp_site rm
+        pp_decision v
+  | Px_nack b -> Format.fprintf fmt "px-nack(%a)" pp_epoch b
 
 type log_tag =
   | L_collecting
@@ -164,6 +185,11 @@ let msg_point = function
   | Pq_precommit_ack _ -> "pq-precommit-ack"
   | Pq_preabort _ -> "pq-preabort"
   | Pq_preabort_ack _ -> "pq-preabort-ack"
+  | Px_p1a _ -> "px-p1a"
+  | Px_p1b _ -> "px-p1b"
+  | Px_p2a _ -> "px-p2a"
+  | Px_p2b _ -> "px-p2b"
+  | Px_nack _ -> "px-nack"
 
 let log_tag_point = function
   | L_collecting -> "collecting"

@@ -49,6 +49,24 @@ type msg =
   | Pq_precommit_ack of epoch
   | Pq_preabort of epoch
   | Pq_preabort_ack of epoch
+  | Px_p1a of epoch
+      (** Paxos Commit: a new leader's prepare, covering every consensus
+          instance of the transaction at once (one ballot space is shared
+          by all per-participant instances). *)
+  | Px_p1b of epoch * (Ids.site_id * epoch * decision) list
+      (** Acceptor's promise: for each instance (keyed by the participant
+          whose vote it decides, ascending site order) the highest-ballot
+          value it has accepted.  Free instances are omitted. *)
+  | Px_p2a of epoch * Ids.site_id * decision
+      (** Phase 2a for one instance.  At ballot [(0, origin)] this is the
+          participant's own vote (Commit = "prepared", Abort = "refused");
+          at higher ballots it is a recovery leader's proposal. *)
+  | Px_p2b of epoch * Ids.site_id * decision
+      (** Acceptor acknowledges accepting [decision] for the instance. *)
+  | Px_nack of epoch
+      (** Acceptor refuses a stale ballot and reports the highest ballot
+          it has promised, so deposed leaders learn about their demotion
+          instead of re-bidding blindly. *)
 
 and participant_state =
   | P_uncertain

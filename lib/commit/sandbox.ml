@@ -5,12 +5,14 @@ type proto =
   | P_two_pc of Two_pc.variant
   | P_three_pc
   | P_quorum of { commit_quorum : int; abort_quorum : int }
+  | P_paxos of { f : int }
 
 let proto_name = function
   | P_two_pc v -> Two_pc.variant_name v
   | P_three_pc -> "3PC"
   | P_quorum { commit_quorum; abort_quorum } ->
       Printf.sprintf "QC(%d,%d)" commit_quorum abort_quorum
+  | P_paxos { f } -> Printf.sprintf "Paxos(F=%d)" f
 
 type outcome = {
   decisions : (Ids.site_id * decision) list;
@@ -32,6 +34,8 @@ let wrap_3pc_coord = Erased.of_3pc_coord
 let wrap_3pc_part = Erased.of_3pc_part
 let wrap_qc_coord = Erased.of_qc_coord
 let wrap_qc_part = Erased.of_qc_part
+let wrap_paxos_coord = Erased.of_paxos_coord
+let wrap_paxos_part = Erased.of_paxos_part
 let finished_machine = Erased.finished
 
 type mrole = Coord | Part
@@ -80,6 +84,11 @@ let timeouts = Protocol.default_timeouts
 
 let all_sites sim = List.init sim.sites (fun i -> i)
 
+let paxos_config ~sites ~f =
+  Paxos_commit.config
+    ~all:(List.init sites (fun i -> i))
+    ~coordinator:coordinator_site ~f ()
+
 let make_coord proto ~sites =
   match proto with
   | P_two_pc variant ->
@@ -100,6 +109,11 @@ let make_coord proto ~sites =
       in
       wrap_qc_coord
         (Quorum_commit.coordinator ~config ~self:coordinator_site ~timeouts)
+  | P_paxos { f } ->
+      wrap_paxos_coord
+        (Paxos_commit.coordinator
+           ~config:(paxos_config ~sites ~f)
+           ~self:coordinator_site ~timeouts)
 
 let make_part proto ~sites ~self ~vote ~read_only =
   let all = List.init sites (fun i -> i) in
@@ -119,6 +133,14 @@ let make_part proto ~sites ~self ~vote ~read_only =
       wrap_qc_part
         (Quorum_commit.participant ~config ~self
            ~coordinator:coordinator_site ~vote ~timeouts)
+  | P_paxos { f } ->
+      (* The participant co-located with the coordinator does not own an
+         acceptor ([participant] gives it none): the coordinator machine
+         holds site 0's acceptor, and ballots stay unique per machine. *)
+      wrap_paxos_part
+        (Paxos_commit.participant
+           ~config:(paxos_config ~sites ~f)
+           ~self ~vote ~timeouts)
 
 let durable_tags sim site =
   match Hashtbl.find_opt sim.durable site with Some r -> !r | None -> []
@@ -138,6 +160,13 @@ let routed_to_coord sim ~dst msg =
       match msg with
       | Vote_yes | Vote_no | Vote_read_only | Decision_ack | Precommit_ack
       | Pq_precommit_ack _ | Pq_preabort_ack _ ->
+          true
+      | Px_p1a _ | Px_p2a _ | Px_p1b _ | Px_p2b _ | Px_nack _ ->
+          (* Site 0's acceptor and any (r, 0) ballot leadership live in
+             the coordinator machine; participant leaders never use
+             ballot site 0.  With the coordinator gone the participant
+             machine receives these and ignores them (it owns no
+             acceptor at site 0). *)
           true
       | Decision_req ->
           (* A coordinator that knows the outcome (including by
@@ -258,6 +287,13 @@ let recover sim site =
                   (wrap_qc_part
                      (Quorum_commit.participant_recovered ~config ~self:site
                         ~coordinator:coordinator_site ~state ~timeouts))
+          | P_paxos { f } ->
+              sim.parts.(site) <-
+                Some
+                  (wrap_paxos_part
+                     (Paxos_commit.participant_recovered
+                        ~config:(paxos_config ~sites:sim.sites ~f)
+                        ~self:site ~state ~timeouts))
         end
         else
           (* Never prepared: the site may abort unilaterally. *)
@@ -279,6 +315,30 @@ let recover sim site =
                  (Two_pc.coordinator_recovered ~variant ~participants:all
                     ~timeouts ~logged));
           sim.pending <- sim.pending @ [ Kick { site; role = Coord } ]
+      | P_paxos { f } -> (
+          let config = paxos_config ~sites:sim.sites ~f in
+          match decided with
+          | Some d ->
+              sim.coord <-
+                Some
+                  (wrap_paxos_coord
+                     (Paxos_commit.coordinator_recovered ~config
+                        ~self:coordinator_site ~timeouts
+                        ~logged:(`Decision d)));
+              sim.pending <- sim.pending @ [ Kick { site; role = Coord } ]
+          | None ->
+              if f = 0 then begin
+                (* Sole acceptor: nothing logged means nothing decided —
+                   the 2PC-PrN abort presumption. *)
+                sim.coord <-
+                  Some
+                    (wrap_paxos_coord
+                       (Paxos_commit.coordinator_recovered ~config
+                          ~self:coordinator_site ~timeouts ~logged:`Nothing));
+                sim.pending <- sim.pending @ [ Kick { site; role = Coord } ]
+              end
+              (* F > 0: surviving acceptors may have chosen; the origin
+                 must stay amnesiac and let the election terminate. *))
       | P_three_pc | P_quorum _ -> ()
   end
 

@@ -23,6 +23,9 @@ type proto =
   | P_two_pc of Two_pc.variant
   | P_three_pc
   | P_quorum of { commit_quorum : int; abort_quorum : int }
+  | P_paxos of { f : int }
+      (** Paxos Commit with 2F+1 acceptors drawn from the lowest site ids;
+          [f = 0] degenerates to 2PC presumed-nothing. *)
 
 val proto_name : proto -> string
 

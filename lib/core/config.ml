@@ -4,11 +4,13 @@ type commit_protocol =
   | Two_phase of Rt_commit.Two_pc.variant
   | Three_phase
   | Quorum_commit of { commit_quorum : int option; abort_quorum : int option }
+  | Paxos_commit of { f : int option }
 
 let commit_protocol_name = function
   | Two_phase v -> Rt_commit.Two_pc.variant_name v
   | Three_phase -> "3PC"
   | Quorum_commit _ -> "QC"
+  | Paxos_commit _ -> "Paxos"
 
 type concurrency = Locking | Timestamp
 
@@ -143,4 +145,14 @@ let validate t =
         invalid_arg "Config: commit/abort quorums must be positive";
       if vc + va <= t.sites then
         invalid_arg "Config: commit/abort quorums must overlap"
+  | Paxos_commit { f } -> (
+      (* 2f+1 acceptors are drawn from the origin site plus the other
+         participants; any two (f+1)-quorums of them intersect. *)
+      match f with
+      | None -> ()
+      | Some f ->
+          if f < 0 then invalid_arg "Config: paxos F must be non-negative";
+          if (2 * f) + 1 > t.sites then
+            invalid_arg
+              "Config: paxos F needs 2F+1 acceptor sites (F <= (sites-1)/2)")
   | Two_phase _ | Three_phase -> ()

@@ -7,6 +7,10 @@ type commit_protocol =
   | Three_phase
   | Quorum_commit of { commit_quorum : int option; abort_quorum : int option }
       (** [None] thresholds default to majority. *)
+  | Paxos_commit of { f : int option }
+      (** Paxos Commit with 2F+1 acceptors and F+1 quorums; [None] picks
+          the largest F the participant count supports.  [F = 0] is the
+          2PC-degenerate configuration. *)
 
 val commit_protocol_name : commit_protocol -> string
 

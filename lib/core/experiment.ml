@@ -30,6 +30,7 @@ let sandbox_protocols ~sites =
     Sandbox.P_two_pc Two_pc.Presumed_commit;
     Sandbox.P_three_pc;
     Sandbox.P_quorum { commit_quorum = q; abort_quorum = q };
+    Sandbox.P_paxos { f = (sites - 1) / 2 };
   ]
 
 let cluster_protocols =
@@ -39,6 +40,7 @@ let cluster_protocols =
     ("2PC-PrC", Config.Two_phase Two_pc.Presumed_commit);
     ("3PC", Config.Three_phase);
     ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+    ("Paxos", Config.Paxos_commit { f = None });
   ]
 
 (* Run a closed-loop workload and report client stats plus the cluster. *)
@@ -72,6 +74,10 @@ let analytic_commit proto ~sites =
   | Sandbox.P_two_pc Two_pc.Presumed_commit -> (3 * p, 2 + sites)
   | Sandbox.P_three_pc -> (5 * p, 2 + (3 * sites))
   | Sandbox.P_quorum _ -> (5 * p, 2 + (3 * sites))
+  (* Paxos Commit: 2PC's message pattern plus, per extra acceptor pair,
+     the vote fan-out (2P+1 instances reach 2F extra acceptors) and their
+     phase-2b relays to the ballot-0 leader.  F = 0 is exactly 2PC-PrN. *)
+  | Sandbox.P_paxos { f } -> ((4 * p) + (2 * f * ((2 * p) + 1)), 1 + (2 * sites))
 
 let t1 =
   {
@@ -648,6 +654,12 @@ let f5 =
             Sandbox.P_two_pc Two_pc.Presumed_abort;
             Sandbox.P_three_pc;
             Sandbox.P_quorum { commit_quorum = 2; abort_quorum = 2 };
+            (* The Gray–Lamport contrast: at F = 0 Paxos Commit blocks
+               exactly like 2PC (the sole acceptor died with the
+               coordinator); at F = 1 the surviving acceptor quorum
+               elects a new leader and every run terminates. *)
+            Sandbox.P_paxos { f = 0 };
+            Sandbox.P_paxos { f = 1 };
           ];
         table);
   }

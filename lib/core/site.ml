@@ -5,6 +5,7 @@ module Erased = Rt_commit.Erased
 module Two_pc = Rt_commit.Two_pc
 module Three_pc = Rt_commit.Three_pc
 module Quorum_commit = Rt_commit.Quorum_commit
+module Paxos_commit = Rt_commit.Paxos_commit
 module RC = Rt_replica.Replica_control
 module Lock = Rt_lock.Lock_table
 module Kv = Rt_storage.Kv
@@ -141,6 +142,15 @@ type t = {
      [presumed] which also holds abort pledges for transactions this site
      never took part in.  The crash-sweep agreement audit reads this. *)
   decided : P.decision Ids.Txn_map.t;
+  (* Paxos acceptor traffic that raced ahead of our own vote request:
+     with independent per-link latencies another participant's phase-2a
+     (or an early leader's phase-1a) can reach this site before the
+     coordinator's Vote_req does.  Dropping it silently costs a full
+     timeout round at the ballot-0 leader, so it is stashed (newest
+     first, capped) and replayed once the participant machine exists.
+     Deliberately volatile: a crash losing the stash is exactly the
+     recovered-acceptor abstention the protocol already tolerates. *)
+  px_early : (Ids.site_id * P.msg) list Ids.Txn_map.t;
   first_lsn : Wal.lsn Ids.Txn_map.t;
   mutable txn_seq : int;
   mutable commits_since_cp : int;
@@ -257,6 +267,7 @@ let create ~engine ~id ~config ~send ~counters =
     coords = Ids.Txn_map.create 64;
     presumed = Ids.Txn_map.create 64;
     decided = Ids.Txn_map.create 64;
+    px_early = Ids.Txn_map.create 8;
     first_lsn = Ids.Txn_map.create 64;
     txn_seq = 0;
     commits_since_cp = 0;
@@ -324,6 +335,21 @@ let qc_quorums t ~n_participants =
       if vc + va > n_participants then (vc, va) else (majority, majority)
   | _ -> (majority, majority)
 
+(* Like [qc_quorums], an out-of-range F is clamped to what the
+   participant set supports rather than rejected: sharded transactions
+   can touch fewer sites than the cluster-wide knob assumed. *)
+let paxos_config t ~participants ~coordinator =
+  let others =
+    List.length (List.filter (fun s -> s <> coordinator) participants)
+  in
+  let max_f = others / 2 in
+  let f =
+    match t.config.commit_protocol with
+    | Config.Paxos_commit { f = Some f } -> Some (max 0 (min max_f f))
+    | _ -> None
+  in
+  Paxos_commit.config ~all:participants ~coordinator ?f ()
+
 let make_coord_machine t ~participants =
   let timeouts = t.config.commit_timeouts in
   match t.config.commit_protocol with
@@ -338,6 +364,10 @@ let make_coord_machine t ~participants =
           ~abort_quorum:va ()
       in
       Erased.of_qc_coord (Quorum_commit.coordinator ~config ~self:t.id ~timeouts)
+  | Config.Paxos_commit _ ->
+      let config = paxos_config t ~participants ~coordinator:t.id in
+      Erased.of_paxos_coord
+        (Paxos_commit.coordinator ~config ~self:t.id ~timeouts)
 
 let make_part_machine t ~txn ~participants ~vote ~read_only =
   let timeouts = t.config.commit_timeouts in
@@ -361,6 +391,10 @@ let make_part_machine t ~txn ~participants ~vote ~read_only =
       Erased.of_qc_part
         (Quorum_commit.participant ~config ~self:t.id ~coordinator ~vote
            ~timeouts)
+  | Config.Paxos_commit _ ->
+      let config = paxos_config t ~participants ~coordinator in
+      Erased.of_paxos_part
+        (Paxos_commit.participant ~config ~self:t.id ~vote ~timeouts)
 
 let make_recovered_part_machine t ~txn ~participants ~state =
   let timeouts = t.config.commit_timeouts in
@@ -383,6 +417,10 @@ let make_recovered_part_machine t ~txn ~participants ~state =
       Erased.of_qc_part
         (Quorum_commit.participant_recovered ~config ~self:t.id ~coordinator
            ~state ~timeouts)
+  | Config.Paxos_commit _ ->
+      let config = paxos_config t ~participants ~coordinator in
+      Erased.of_paxos_part
+        (Paxos_commit.participant_recovered ~config ~self:t.id ~state ~timeouts)
 
 (* ------------------------------------------------------------------ *)
 (* Participant side                                                     *)
@@ -886,7 +924,18 @@ let handle_vote_req t ~src txn (prepare : Msg.prepare_info option) =
       Some
         (make_part_machine t ~txn ~participants:ctx.pt_participants ~vote
            ~read_only:(ctx.pt_writes = []));
-    feed_part t ctx (P.Recv (src, P.Vote_req))
+    feed_part t ctx (P.Recv (src, P.Vote_req));
+    (* Replay paxos acceptor traffic that arrived before the machine
+       existed, in arrival order (see [px_early]). *)
+    match Ids.Txn_map.find_opt t.px_early txn with
+    | None -> ()
+    | Some pending ->
+        Ids.Txn_map.remove t.px_early txn;
+        List.iter
+          (fun (psrc, pmsg) ->
+            if ctx.pt_machine <> None then
+              feed_part t ctx (P.Recv (psrc, pmsg)))
+          (List.rev pending)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1363,7 +1412,15 @@ let answer_unknown t ~src txn (pmsg : P.msg) =
             match t.config.commit_protocol with
             | Config.Two_phase variant ->
                 reply (P.Decision_msg (Two_pc.presumption variant))
-            | Config.Three_phase | Config.Quorum_commit _ ->
+            | Config.Paxos_commit { f = Some 0 } ->
+                (* F = 0: the origin was the sole acceptor, so its lost
+                   memory IS the consensus state — the 2PC-PrN abort
+                   presumption applies.  With F > 0 a recovery leader may
+                   have decided from the surviving acceptors, so the
+                   origin must stay uncertain. *)
+                reply (P.Decision_msg P.Abort)
+            | Config.Three_phase | Config.Quorum_commit _
+            | Config.Paxos_commit _ ->
                 reply P.Decision_unknown
           else reply P.Decision_unknown)
   | P.State_req | P.Pq_state_req _ -> (
@@ -1391,12 +1448,19 @@ let answer_unknown t ~src txn (pmsg : P.msg) =
       | None ->
           Ids.Txn_map.replace t.presumed txn d;
           Ids.Txn_map.replace t.decided txn d);
+      Ids.Txn_map.remove t.px_early txn;
       reply P.Decision_ack
+  | P.Px_p1a _ | P.Px_p2a _ -> (
+      (* A paxos leader is probing; a remembered outcome terminates it.
+         With no memory our acceptor died with us — abstain. *)
+      match known with
+      | Some d -> reply (P.Decision_msg d)
+      | None -> ())
   | P.Decision_unknown | P.Vote_yes | P.Vote_no
   | P.Decision_ack | P.Precommit_msg | P.Precommit_ack | P.Pq_precommit _
   | P.Pq_precommit_ack _ | P.Pq_preabort _ | P.Pq_preabort_ack _
   | P.State_report _ | P.Pq_state_report _ | P.Vote_req
-  | P.Vote_read_only ->
+  | P.Vote_read_only | P.Px_p1b _ | P.Px_p2b _ | P.Px_nack _ ->
       ()
 
 let route_commit_msg t ~src txn (pmsg : P.msg) prepare =
@@ -1422,6 +1486,37 @@ let route_commit_msg t ~src txn (pmsg : P.msg) prepare =
       match coord_machine with
       | Some c -> feed_coord t c (P.Recv (src, pmsg))
       | None -> to_part ())
+  | P.Px_p1a _ | P.Px_p2a _ | P.Px_p1b _ | P.Px_p2b _ | P.Px_nack _ -> (
+      (* The origin site's acceptor and ballot-0 leadership live in the
+         coordinator machine; participant leaders never use the origin's
+         ballot identity, so origin-bound paxos traffic is the
+         coordinator's iff it is alive.  Elsewhere (or after the
+         coordinator machine is gone) the participant machine serves its
+         acceptor or leader role. *)
+      match coord_machine with
+      | Some c -> feed_coord t c (P.Recv (src, pmsg))
+      | None -> (
+          match part_ctx t txn with
+          | Some ctx when ctx.pt_machine <> None ->
+              feed_part t ctx (P.Recv (src, pmsg))
+          | Some _ | None -> (
+              match pmsg with
+              | P.Px_p1a _ | P.Px_p2a _
+                when (not (Ids.Txn_map.mem t.presumed txn))
+                     && not (Ids.Txn_map.mem t.decided txn) ->
+                  (* Acceptor traffic ahead of our Vote_req: stash for
+                     replay at machine creation (see [px_early]).  The
+                     cap bounds abandoned transactions; a dropped
+                     message is re-earned by the sender's own
+                     termination timers, exactly as before. *)
+                  let pending =
+                    Option.value ~default:[]
+                      (Ids.Txn_map.find_opt t.px_early txn)
+                  in
+                  if List.length pending < 32 then
+                    Ids.Txn_map.replace t.px_early txn
+                      ((src, pmsg) :: pending)
+              | _ -> answer_unknown t ~src txn pmsg)))
   | P.State_report _ | P.Pq_state_report _ -> to_part ()
   | P.Decision_req -> (
       match coord_machine with
@@ -1563,6 +1658,7 @@ let crash t =
     Ids.Txn_map.reset t.parts;
     Ids.Txn_map.reset t.presumed;
     Ids.Txn_map.reset t.decided;
+    Ids.Txn_map.reset t.px_early;
     Ids.Txn_map.reset t.first_lsn
   end
 
@@ -1614,7 +1710,22 @@ let recover t =
                        && not (Ids.Txn_map.mem t.presumed d.txn)
                      then settle d.txn (Two_pc.presumption variant))
                    outcome.in_doubt
-             | Config.Three_phase | Config.Quorum_commit _ -> ());
+             | Config.Paxos_commit { f = Some 0 } ->
+                 (* Degenerate paxos: the origin was the sole acceptor, so
+                    an undistributed decision died with it — the 2PC-PrN
+                    abort presumption.  With F > 0 surviving acceptors may
+                    have let a recovery leader decide; the origin must
+                    stay uncertain and learn the outcome like everyone
+                    else. *)
+                 List.iter
+                   (fun (d : Recovery.in_doubt) ->
+                     if
+                       d.txn.Tid.origin = t.id
+                       && not (Ids.Txn_map.mem t.presumed d.txn)
+                     then settle d.txn P.Abort)
+                   outcome.in_doubt
+             | Config.Three_phase | Config.Quorum_commit _
+             | Config.Paxos_commit _ -> ());
              (* Rebuild termination machinery for in-doubt transactions. *)
              List.iter
                (fun (d : Recovery.in_doubt) ->

@@ -43,6 +43,9 @@ let default_protocols =
     ("2PC-PrC", Config.Two_phase Two_pc.Presumed_commit);
     ("3PC", Config.Three_phase);
     ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+    (* F = 1 keeps a 2F+1 = 3 acceptor group even at n = 5, so the larger
+       sweep has genuine non-acceptor participants to crash. *)
+    ("Paxos", Config.Paxos_commit { f = Some 1 });
   ]
 
 let default_ns = [ 3; 5 ]
@@ -107,7 +110,19 @@ let horizon = Time.sec 3
 let recover_after = Time.ms 100
 let workload = [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "2") ]
 
-let roles = [ (0, "coordinator"); (1, "participant") ]
+(* Crash targets, by protocol.  For 2PC/3PC/QC site 0 is the coordinator
+   and site 1 a representative participant.  Paxos Commit (swept at
+   F = 1: acceptors {0, 1, 2}) distinguishes three crash roles — site 0
+   is the ballot-0 leader with a co-located acceptor, site 1 a pure
+   acceptor, and site 3 (present once n ≥ 4) a plain participant with no
+   acceptor duties. *)
+let roles ~protocol ~n =
+  match protocol with
+  | Config.Paxos_commit _ ->
+      (0, "leader") :: (1, "acceptor")
+      :: (if n >= 4 then [ (3, "participant") ] else [])
+  | Config.Two_phase _ | Config.Three_phase | Config.Quorum_commit _ ->
+      [ (0, "coordinator"); (1, "participant") ]
 
 let make_cluster ?placement ?(tune = Fun.id) ~protocol ~n ~seed () =
   let config =
@@ -132,7 +147,8 @@ let discover ?placement ?tune ~protocol ~n ~seed () =
   let points = Rt_core.Failure.observe_crash_points cluster in
   let _outcome = start_workload cluster in
   Cluster.run ~until:horizon cluster;
-  List.filter (fun (s, _) -> List.mem_assoc s roles) (points ())
+  let targets = roles ~protocol ~n in
+  List.filter (fun (s, _) -> List.mem_assoc s targets) (points ())
 
 (* The invariant battery itself lives in Rt_core.Audit (shared with soak
    and the nemesis campaigns); here we only add the sweep-specific checks
@@ -196,6 +212,7 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                   let stream =
                     discover ?placement ~tune:cf.cf_tune ~protocol ~n ~seed ()
                   in
+                  let targets = roles ~protocol ~n in
                   (* Each occurrence in the discovery stream is one
                      injection. *)
                   let occ = Hashtbl.create 32 in
@@ -214,7 +231,7 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                           cs_n = n;
                           cs_placement = cf.cf_name;
                           cs_site = site;
-                          cs_role = List.assoc site roles;
+                          cs_role = List.assoc site targets;
                           cs_point = point;
                           cs_occurrence = k;
                         })

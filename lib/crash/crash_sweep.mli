@@ -3,8 +3,10 @@
     For each protocol × cluster size × placement configuration (full
     replication and a sharded placement), a discovery pass runs one
     distributed write transaction with the crash-point hook recording
-    every announcement at the coordinator site (0) and one participant
-    site (1).  Each recorded occurrence then becomes an injection run:
+    every announcement at the targeted sites: the coordinator (site 0)
+    and a representative participant (site 1) — or, for Paxos Commit,
+    the ballot-0 leader (site 0), a pure acceptor (site 1), and at
+    n ≥ 4 a plain participant with no acceptor duties (site 3).  Each recorded occurrence then becomes an injection run:
     the same seeded workload, with the site crashed exactly at that
     occurrence of that point and recovered 100 ms later.  At a 3 s
     horizon every run is audited for agreement, durability, orphaned
@@ -19,7 +21,9 @@ type case = {
   cs_placement : string;
       (** ["full"] or the sharded configuration's name. *)
   cs_site : int;  (** The crashed site. *)
-  cs_role : string;  (** ["coordinator"] (site 0) or ["participant"]. *)
+  cs_role : string;
+      (** ["coordinator"]/["participant"], or for Paxos Commit
+          ["leader"]/["acceptor"]/["participant"]. *)
   cs_point : string;
   cs_occurrence : int;  (** 1-based occurrence of the point at the site. *)
 }
@@ -46,7 +50,8 @@ type report = {
 }
 
 val default_protocols : (string * Rt_core.Config.commit_protocol) list
-(** 2PC-PrN, 2PC-PrA, 2PC-PrC, 3PC, QC (majority quorums). *)
+(** 2PC-PrN, 2PC-PrA, 2PC-PrC, 3PC, QC (majority quorums), and Paxos
+    Commit at F = 1 (so n = 5 keeps non-acceptor participants). *)
 
 val default_ns : int list
 (** Cluster sizes swept by default: 3 and 5. *)

@@ -1,7 +1,9 @@
 (* Cluster harness for the explorer: small-scope scenarios (N = 3, one or
-   two transactions, all five commit protocols, full and two-shard
+   two transactions, all six commit protocols, full and two-shard
    placements, optional crash injection), the standard sweep matrix, and
-   the byte-stable report `make explore` regenerates.
+   the byte-stable report `make explore` regenerates.  The matrix is
+   strict: every invariant violation counts, with no expected-violation
+   carve-outs.
 
    Every scenario runs twice — sleep sets on and off, both with state
    dedup — so the reported reduction factor isolates the partial-order
@@ -29,9 +31,6 @@ type scenario = {
   sc_txns : (int * Rt_workload.Mix.op list) list;  (* (origin, ops) *)
   sc_crash : crash_spec option;
   sc_max_executions : int;
-  sc_expected : (string * string) list;
-      (* (invariant, detail substring) pairs for documented-known
-         violations; matches are reported but do not fail the sweep. *)
 }
 
 let sites = 3
@@ -230,6 +229,7 @@ let protocols =
     ("2PC-PrC", Config.Two_phase Rt_commit.Two_pc.Presumed_commit);
     ("3PC", Config.Three_phase);
     ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+    ("Paxos", Config.Paxos_commit { f = None });
   ]
 
 (* One replicated write: under ROWA every site is a write participant,
@@ -241,7 +241,7 @@ let shard_txn =
   [ Rt_workload.Mix.Write ("a", "1"); Rt_workload.Mix.Write ("b", "2") ]
 
 let scenario ?(sharded = false) ?(batched = false) ?crash
-    ?(max_executions = 50_000) ?(expected = []) ~name ~protocol ~txns () =
+    ?(max_executions = 50_000) ~name ~protocol ~txns () =
   {
     sc_name = name;
     sc_protocol = protocol;
@@ -250,27 +250,39 @@ let scenario ?(sharded = false) ?(batched = false) ?crash
     sc_txns = txns;
     sc_crash = crash;
     sc_max_executions = max_executions;
-    sc_expected = expected;
   }
 
 let default_matrix () =
   List.concat_map
     (fun (pname, protocol) ->
+      (* Paxos Commit at N = 3 runs F = 1: per-vote consensus instances
+         over three acceptors plus leader usurpation, a state space that
+         does not close under any affordable budget (50k executions
+         reach depth ~46 with the frontier still widening).  The sweep
+         stays strict — every violation in the explored prefix counts —
+         but caps the budget so `make explore` stays in CI range; the
+         report marks these rows `complete = no`. *)
+      let max_executions =
+        match protocol with
+        | Config.Paxos_commit _ -> 15_000
+        | Config.Two_phase _ | Config.Three_phase | Config.Quorum_commit _ ->
+            50_000
+      in
       [
         (* One distributed write transaction, full replication. *)
-        scenario
+        scenario ~max_executions
           ~name:(pname ^ "/full")
           ~protocol
           ~txns:[ (0, full_txn) ]
           ();
         (* Same transaction across two partial shards. *)
-        scenario ~sharded:true
+        scenario ~sharded:true ~max_executions
           ~name:(pname ^ "/shard2")
           ~protocol
           ~txns:[ (0, shard_txn) ]
           ();
         (* Two conflicting writers from different origins. *)
-        scenario
+        scenario ~max_executions
           ~name:(pname ^ "/conflict")
           ~protocol
           ~txns:
@@ -281,7 +293,7 @@ let default_matrix () =
           ();
         (* One transaction with a single coordinator crash at a
            log-force boundary, recovery explored as a schedule choice. *)
-        scenario
+        scenario ~max_executions
           ~name:(pname ^ "/crash")
           ~protocol
           ~txns:[ (0, full_txn) ]
@@ -296,7 +308,7 @@ let default_matrix () =
            wal-flush and net-flush timers interleave with envelope
            deliveries, and a shared flush must still release each
            continuation only after the covering cycle is durable. *)
-        scenario ~batched:true
+        scenario ~batched:true ~max_executions
           ~name:(pname ^ "/conflict+gcb")
           ~protocol
           ~txns:
@@ -307,7 +319,7 @@ let default_matrix () =
           ();
         (* Coordinator crash at the (group-commit) force boundaries with
            batching on: the moved boundaries stay recoverable. *)
-        scenario ~batched:true
+        scenario ~batched:true ~max_executions
           ~name:(pname ^ "/crash+gcb")
           ~protocol
           ~txns:[ (0, full_txn) ]
@@ -332,21 +344,10 @@ type row = {
   rw_nosleep : Explore.result;
   rw_counterexamples : (int list * string list * (string * string) list) list;
       (* minimized schedule, trace, violations *)
-  rw_unexplained : int;
+  rw_violations : int;
+      (* Every violation the sweep found.  The matrix is strict: there is
+         no expected-violation filter, and any nonzero total fails. *)
 }
-
-let is_expected sc (inv, detail) =
-  List.exists
-    (fun (einv, esub) ->
-      einv = inv
-      && (esub = ""
-         || (let n = String.length esub in
-             let m = String.length detail in
-             let rec at i =
-               i + n <= m && (String.sub detail i n = esub || at (i + 1))
-             in
-             at 0)))
-    sc.sc_expected
 
 let run_scenario sc =
   let sleep = Explore.explore ~opts:(opts_of sc ~sleep:true) (make_sys sc) in
@@ -370,15 +371,14 @@ let run_scenario sc =
         (min_sched, out.rp_trace, vs))
       take3
   in
-  let unexplained =
+  let violations =
     List.concat_map
-      (fun (lr : Explore.leaf_report) ->
-        List.filter (fun v -> not (is_expected sc v)) lr.lf_violations)
+      (fun (lr : Explore.leaf_report) -> lr.lf_violations)
       sleep.r_violating
     |> List.length
   in
   { rw_scenario = sc; rw_sleep = sleep; rw_nosleep = nosleep;
-    rw_counterexamples = counterexamples; rw_unexplained = unexplained }
+    rw_counterexamples = counterexamples; rw_violations = violations }
 
 let reduction_factor row =
   let s = row.rw_sleep.r_stats.st_executions in
@@ -434,23 +434,18 @@ let render_report fmt rows =
               (String.concat "," (List.map string_of_int sched));
             List.iter
               (fun (inv, detail) ->
-                let tag =
-                  if is_expected row.rw_scenario (inv, detail) then
-                    " (documented-known)"
-                  else ""
-                in
-                Format.fprintf fmt "- **%s**%s: %s\n" inv tag detail)
+                Format.fprintf fmt "- **%s**: %s\n" inv detail)
               vs;
             Format.fprintf fmt "\nDecisions:\n\n";
             List.iter (fun l -> Format.fprintf fmt "    %s\n" l) trace)
           row.rw_counterexamples)
       violating
   end;
-  let total_unexplained =
-    List.fold_left (fun a r -> a + r.rw_unexplained) 0 rows
+  let total_violations =
+    List.fold_left (fun a r -> a + r.rw_violations) 0 rows
   in
-  Format.fprintf fmt "\n%d unexplained violation(s).\n" total_unexplained;
-  total_unexplained
+  Format.fprintf fmt "\n%d violation(s).\n" total_violations;
+  total_violations
 
 let run_matrix ?(filter = fun _ -> true) ?budget fmt =
   let clamp sc =

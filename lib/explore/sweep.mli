@@ -1,7 +1,9 @@
 (** Cluster harness for the explorer: small-scope scenarios (N = 3, one
-    or two transactions, all five commit protocols, full and two-shard
+    or two transactions, all six commit protocols, full and two-shard
     placements, optional crash injection), the standard sweep matrix,
-    and the byte-stable report [make explore] regenerates.
+    and the byte-stable report [make explore] regenerates.  The matrix
+    is strict: every invariant violation counts, with no
+    expected-violation carve-outs.
 
     Every scenario runs twice — sleep sets on and off, both with state
     dedup — so the reported reduction factor isolates the partial-order
@@ -25,20 +27,16 @@ type scenario = {
   sc_txns : (int * Rt_workload.Mix.op list) list;  (** (origin, ops) *)
   sc_crash : crash_spec option;
   sc_max_executions : int;
-  sc_expected : (string * string) list;
-      (** (invariant, detail substring) pairs for documented-known
-          violations; matches are reported but do not fail the sweep. *)
 }
 
 val protocols : (string * Rt_core.Config.commit_protocol) list
-(** The five commit protocols, keyed by report name. *)
+(** The six commit protocols, keyed by report name. *)
 
 val scenario :
   ?sharded:bool ->
   ?batched:bool ->
   ?crash:crash_spec ->
   ?max_executions:int ->
-  ?expected:(string * string) list ->
   name:string ->
   protocol:Rt_core.Config.commit_protocol ->
   txns:(int * Rt_workload.Mix.op list) list ->
@@ -67,22 +65,23 @@ type row = {
   rw_nosleep : Explore.result;
   rw_counterexamples : (int list * string list * (string * string) list) list;
       (** Minimized schedule, trace, violations. *)
-  rw_unexplained : int;
+  rw_violations : int;
+      (** Every violation found; no expected-violation filter exists. *)
 }
 
 val run_scenario : scenario -> row
 (** Explore with and without sleep sets, minimize up to three violating
-    leaves, and count the violations not matched by [sc_expected]. *)
+    leaves, and count every violation. *)
 
 val reduction_factor : row -> float * bool
 (** Executions(no-sleep) / executions(sleep); the flag is [true] when the
     no-sleep run hit its execution budget (factor is a lower bound). *)
 
 val render_report : Format.formatter -> row list -> int
-(** Write the markdown report; returns total unexplained violations. *)
+(** Write the markdown report; returns the total violation count. *)
 
 val run_matrix :
   ?filter:(scenario -> bool) -> ?budget:int -> Format.formatter -> int
 (** Run (a filtered subset of) the default matrix, optionally clamping
     per-scenario execution budgets, render the report, and return the
-    total number of unexplained violations. *)
+    total number of violations. *)

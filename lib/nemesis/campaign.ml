@@ -17,7 +17,26 @@ let default_protocols =
     ("2PC-PrC", Config.Two_phase Rt_commit.Two_pc.Presumed_commit);
     ("3PC", Config.Three_phase);
     ("QC", Config.Quorum_commit { commit_quorum = None; abort_quorum = None });
+    ("Paxos", Config.Paxos_commit { f = None });
   ]
+
+(* Safety envelopes, declared per protocol before anything runs.  Basic
+   3PC reaches termination by trusting its failure detector, so a
+   scenario that severs reachability can split its decision
+   (docs/PROTOCOLS.md); that cell is OUTSIDE the protocol's envelope and
+   the report shouts about it instead of quietly dropping the
+   divergence.  Every other cell — including all of Paxos Commit, which
+   replaces the detector with ballots and acceptor quorums — is strict:
+   any audit violation is a failure. *)
+let outside_safety_envelope ~protocol ~steps =
+  match protocol with
+  | Config.Three_phase when Scenario.cuts_reachability steps ->
+      Some
+        "basic 3PC termination trusts its failure detector; severed \
+         reachability can split the decision"
+  | Config.Three_phase | Config.Two_phase _ | Config.Quorum_commit _
+  | Config.Paxos_commit _ ->
+      None
 
 let default_scenarios =
   [
@@ -59,12 +78,14 @@ type result = {
       (* Heal-to-quiet time: how long after the last fault until every
          site is hygiene-clean.  [None] = never within the drain cap. *)
   r_violations : Audit.violation list;
-  r_known : Audit.violation list;
-      (* Documented protocol limitations, reported but not counted as
-         failures: basic 3PC termination trusts its failure detector, so
-         under severed reachability both sides may terminate differently
-         (docs/PROTOCOLS.md).  Scenarios that only degrade links (loss,
-         duplication, gray) stay strict. *)
+  r_envelope : string option;
+      (* [Some reason] when this (protocol, scenario) cell lies outside
+         the protocol's declared safety envelope — decided up front from
+         the fault plan, never from what the audit happened to find. *)
+  r_expected_divergence : Audit.violation list;
+      (* Agreement/durability divergences observed while outside the
+         envelope: rendered loudly in the report, excluded from the exit
+         code.  Always empty when [r_envelope = None]. *)
 }
 
 let ordered_pairs sites =
@@ -135,6 +156,8 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
   Cluster.populate cluster mix;
   let fleet = Client.start_fleet ~cluster ~clients ~mix () in
   let steps = Scenario.steps scenario ~sites ~duration in
+  (* Envelope verdict first, from the fault plan alone. *)
+  let envelope = outside_safety_envelope ~protocol:commit_protocol ~steps in
   List.iter
     (fun (at, fault) ->
       ignore
@@ -183,17 +206,16 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
               (drain_cap / Time.sec 1) }
         :: violations
   in
-  (* Basic 3PC is only agreement-safe under crash-stop failures; when the
-     scenario severs reachability its documented divergence (split
-     decisions and their data-level shadows) is reported as a known
-     limitation, not a failure.  Everything else stays strict. *)
-  let known, violations =
-    match commit_protocol with
-    | Config.Three_phase when Scenario.cuts_reachability steps ->
+  (* Outside the envelope only the declared divergence class
+     (agreement splits and their data-level shadows) is reclassified;
+     hygiene, termination and fork-freedom stay strict even there. *)
+  let expected_divergence, violations =
+    match envelope with
+    | None -> ([], violations)
+    | Some _ ->
         List.partition
           (fun { Audit.inv; _ } -> inv = "agreement" || inv = "durability")
           violations
-    | _ -> ([], violations)
   in
   let stats = Client.total fleet in
   let net = Cluster.net_stats cluster in
@@ -210,7 +232,8 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
     r_duplicated = net.duplicated;
     r_drain;
     r_violations = violations;
-    r_known = known;
+    r_envelope = envelope;
+    r_expected_divergence = expected_divergence;
   }
 
 let run ?seed ?sites:(n = 5) ?clients ?duration ?rc ?tune
@@ -252,28 +275,49 @@ let render results =
            r.r_duplicated pp_drain r.r_drain
            (List.length r.r_violations)))
     results;
-  let lines tag select =
+  let violation_lines =
     List.concat_map
       (fun r ->
         List.map
           (fun v ->
-            Format.asprintf "%s[%s %s %s] %a" tag r.r_scenario r.r_protocol
+            Format.asprintf "[%s %s %s] %a" r.r_scenario r.r_protocol
               r.r_placement Audit.pp_violation v)
-          (select r))
+          r.r_violations)
       results
   in
-  let violation_lines = lines "" (fun r -> r.r_violations) in
-  let known_lines = lines "known: " (fun r -> r.r_known) in
+  let envelope_cells =
+    List.filter (fun r -> r.r_envelope <> None) results
+  in
   Buffer.add_string buf
-    (Printf.sprintf "\ntotal: %d runs, %d violations, %d known divergences\n"
+    (Printf.sprintf
+       "\ntotal: %d runs, %d violations, %d cells outside the safety \
+        envelope\n"
        (List.length results)
        (List.length violation_lines)
-       (List.length known_lines));
+       (List.length envelope_cells));
   List.iter
     (fun line ->
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
-    (violation_lines @ known_lines);
+    violation_lines;
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "!! OUTSIDE SAFETY ENVELOPE [%s %s %s]: %s\n"
+           r.r_scenario r.r_protocol r.r_placement
+           (Option.value r.r_envelope ~default:""));
+      match r.r_expected_divergence with
+      | [] ->
+          Buffer.add_string buf
+            "!!   no divergence observed this run (the envelope bound is \
+             about possibility, not certainty)\n"
+      | vs ->
+          List.iter
+            (fun v ->
+              Buffer.add_string buf
+                (Format.asprintf "!!   divergence: %a\n" Audit.pp_violation v))
+            vs)
+    envelope_cells;
   Buffer.contents buf
 
 let total_violations results =

@@ -10,7 +10,17 @@ open Rt_sim
 open Rt_core
 
 val default_protocols : (string * Config.commit_protocol) list
-(** 2PC (PrN/PrA/PrC), 3PC, and quorum commit. *)
+(** 2PC (PrN/PrA/PrC), 3PC, quorum commit, and Paxos Commit. *)
+
+val outside_safety_envelope :
+  protocol:Config.commit_protocol -> steps:Scenario.step list -> string option
+(** Upfront safety-envelope verdict for one campaign cell, decided from
+    the fault plan alone: [Some reason] iff the protocol's documented
+    assumptions do not cover the scenario's faults.  The only cell
+    outside any envelope today is basic 3PC under severed reachability —
+    its termination rule trusts a failure detector that partitions can
+    fool.  Everything else, Paxos Commit included, is strict: any audit
+    violation fails the campaign. *)
 
 val default_scenarios : Scenario.t list
 (** Calm control plus lossy, gray, flapping, one-way, churn, and
@@ -36,11 +46,15 @@ type result = {
           the cluster never drained within the cap (also reported as a
           termination violation). *)
   r_violations : Audit.violation list;
-  r_known : Audit.violation list;
-      (** Documented protocol limitations, reported but not counted as
-          failures: basic 3PC under severed reachability may terminate
-          differently on each side (docs/PROTOCOLS.md).  Link-degrading
-          scenarios (loss, duplication, gray) stay strict. *)
+  r_envelope : string option;
+      (** [Some reason] when this cell lies outside the protocol's
+          declared safety envelope (see {!outside_safety_envelope});
+          rendered as a shouted [!! OUTSIDE SAFETY ENVELOPE] block, never
+          silently dropped. *)
+  r_expected_divergence : Audit.violation list;
+      (** Agreement/durability divergences observed while outside the
+          envelope; excluded from {!total_violations} but printed loudly.
+          Always empty when [r_envelope = None]. *)
 }
 
 val run_one :

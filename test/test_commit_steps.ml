@@ -713,6 +713,110 @@ let test_3pc_live_state_silent_on_decision_req () =
   let _, actions = Three_pc.coord_step c (Recv (1, Decision_req)) in
   Alcotest.(check (list action)) "undecided coordinator silent" [] actions
 
+(* --- Paxos Commit degenerate case: F = 0 ≡ 2PC presumed-nothing ---------- *)
+
+(* Gray & Lamport's reduction: with F = 0 Paxos Commit has a single
+   acceptor co-located with the coordinator, ballot 0 never loses, and
+   the message, log, and timer pattern collapses to exactly two-phase
+   commit with the presumed-nothing discipline.  We prove the claim
+   operationally rather than by inspection: every schedule the sandbox
+   can produce — failure-free, crashed, and crash-then-recovered —
+   must yield a byte-identical outcome fingerprint under both
+   protocols: same decisions at the same sites, same message count,
+   same forced/lazy write counts, same blocking verdict, same step and
+   timeout totals. *)
+
+let outcome_fingerprint (o : Sandbox.outcome) =
+  let dec =
+    o.Sandbox.decisions
+    |> List.map (fun (s, d) ->
+           Printf.sprintf "%d:%c" s (match d with Commit -> 'C' | Abort -> 'A'))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "dec=[%s] agree=%b all=%b msgs=%d forced=%d lazy=%d blocked=%b steps=%d \
+     timeouts=%d"
+    dec o.agreement o.all_decided o.messages o.forced_writes o.lazy_writes
+    o.blocked o.steps o.timeouts_fired
+
+let check_equiv name ?(crashes = []) ?(recoveries = []) ?max_steps ~seed ~sites
+    ~votes () =
+  let run proto =
+    Sandbox.run ~seed ~crashes ~recoveries ?max_steps ~proto ~sites ~votes ()
+  in
+  let paxos = run (Sandbox.P_paxos { f = 0 }) in
+  let prn = run (Sandbox.P_two_pc Two_pc.Presumed_nothing) in
+  Alcotest.(check string)
+    name
+    (outcome_fingerprint prn)
+    (outcome_fingerprint paxos)
+
+let vote_patterns sites =
+  let one_no i =
+    Array.init sites (fun j -> j <> i)
+  in
+  [ Array.make sites true; Array.make sites false; one_no 0;
+    one_no (sites - 1); one_no (sites / 2) ]
+
+let test_paxos_f0_matches_prn_failure_free () =
+  List.iter
+    (fun sites ->
+      List.iter
+        (fun votes ->
+          (* The canonical FIFO cost-measurement schedule first... *)
+          let fifo proto = Sandbox.run_fifo ~proto ~sites ~votes () in
+          Alcotest.(check string)
+            (Printf.sprintf "fifo sites=%d" sites)
+            (outcome_fingerprint
+               (fifo (Sandbox.P_two_pc Two_pc.Presumed_nothing)))
+            (outcome_fingerprint (fifo (Sandbox.P_paxos { f = 0 })));
+          (* ...then a spread of randomized interleavings. *)
+          for seed = 1 to 25 do
+            check_equiv
+              (Printf.sprintf "sites=%d seed=%d" sites seed)
+              ~seed ~sites ~votes ()
+          done)
+        (vote_patterns sites))
+    [ 2; 3; 5 ]
+
+let test_paxos_f0_matches_prn_under_crashes () =
+  let sites = 3 in
+  List.iter
+    (fun votes ->
+      for victim = 0 to sites - 1 do
+        for seed = 1 to 12 do
+          let k = 3 + (seed mod 9) in
+          (* Crash without recovery: both protocols must block (or not)
+             identically — a dead F = 0 coordinator is as fatal to Paxos
+             as a dead 2PC coordinator, its sole acceptor died with it. *)
+          check_equiv
+            (Printf.sprintf "crash s%d@%d seed=%d" victim k seed)
+            ~crashes:[ (victim, k) ] ~max_steps:2_000 ~seed ~sites ~votes ();
+          (* Crash then recover: the recovered machines must replay the
+             same presumption, redistribution, and inquiry traffic. *)
+          check_equiv
+            (Printf.sprintf "crash+recover s%d@%d seed=%d" victim k seed)
+            ~crashes:[ (victim, k) ]
+            ~recoveries:[ (victim, 40) ]
+            ~max_steps:2_000 ~seed ~sites ~votes ()
+        done
+      done)
+    [ [| true; true; true |]; [| true; false; true |]; [| false; true; true |] ]
+
+let test_paxos_f0_matches_prn_double_fault () =
+  (* Coordinator and one participant both crash; only the coordinator
+     recovers.  Exercises the recovered-coordinator presumption path and
+     the Notice_down pending-set pruning on both sides. *)
+  let sites = 4 in
+  let votes = [| true; true; true; true |] in
+  for seed = 1 to 10 do
+    check_equiv
+      (Printf.sprintf "double fault seed=%d" seed)
+      ~crashes:[ (0, 5); (2, 8) ]
+      ~recoveries:[ (0, 30) ]
+      ~max_steps:2_000 ~seed ~sites ~votes ()
+  done
+
 let () =
   Alcotest.run "commit-steps"
     [
@@ -787,6 +891,15 @@ let () =
             test_3pc_usurps_amnesiac_leader;
           Alcotest.test_case "3PC live state silent on decision-req" `Quick
             test_3pc_live_state_silent_on_decision_req;
+        ] );
+      ( "paxos-f0-equivalence",
+        [
+          Alcotest.test_case "failure-free schedules" `Quick
+            test_paxos_f0_matches_prn_failure_free;
+          Alcotest.test_case "crash and recovery schedules" `Quick
+            test_paxos_f0_matches_prn_under_crashes;
+          Alcotest.test_case "double fault" `Quick
+            test_paxos_f0_matches_prn_double_fault;
         ] );
       ( "quorum-commit",
         [

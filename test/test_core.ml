@@ -16,6 +16,7 @@ let all_commit_protocols =
     Config.Two_phase Rt_commit.Two_pc.Presumed_commit;
     Config.Three_phase;
     Config.Quorum_commit { commit_quorum = None; abort_quorum = None };
+    Config.Paxos_commit { f = None };
   ]
 
 let mk ?(sites = 3) ?(commit = Config.Two_phase Rt_commit.Two_pc.Presumed_abort)
@@ -353,6 +354,40 @@ let matrix_cases =
       ])
     all_commit_protocols
 
+(* Regression: with independent per-link latencies, another
+   participant's paxos phase-2a vote can reach a site before that site's
+   own Vote_req.  Dropping it silently starves the instance of its F+1
+   acceptor quorum and costs the ballot-0 leader a full vote-collect
+   timeout round (seen as ~50ms p99 spikes in T2 at N >= 5); the site
+   now stashes the early message and replays it at machine creation.
+   Three slowed Vote_req links force the race deterministically: site
+   1's vote reaches sites 2-4 long before their own requests do, and
+   instance 1 can only assemble 3-of-5 acceptors from the stash. *)
+let test_paxos_early_vote_stashed_not_dropped () =
+  let cluster = mk ~sites:5 ~commit:(Config.Paxos_commit { f = None }) () in
+  let net = Cluster.net cluster in
+  let slow = Rt_net.Net.reliable_link (Rt_net.Latency.Fixed (Time.ms 3)) in
+  List.iter
+    (fun dst -> Rt_net.Net.set_link net ~src:0 ~dst slow)
+    [ 2; 3; 4 ];
+  let done_at = ref None in
+  Cluster.submit cluster ~site:0
+    ~ops:(ops_w [ ("x", "1") ])
+    ~k:(fun o -> done_at := Some (o, Cluster.now cluster));
+  run_for cluster (Time.sec 2);
+  match !done_at with
+  | None -> Alcotest.fail "transaction never completed"
+  | Some (o, finished) ->
+      check_committed (Some o);
+      (* The slow links bound the floor at ~6ms (request + decision);
+         a dropped early vote would add a >=50ms vote-collect timeout
+         round before the commit could assemble its quorums. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "commit without a timeout round (finished %.1fms)"
+           (Time.to_float_ms finished))
+        true
+        Time.(finished < ms 20)
+
 let commit_cases =
   List.map
     (fun commit ->
@@ -369,6 +404,8 @@ let () =
       ("commit", commit_cases);
       ( "basics",
         [
+          Alcotest.test_case "paxos early vote stashed, not dropped" `Quick
+            test_paxos_early_vote_stashed_not_dropped;
           Alcotest.test_case "read after write" `Quick test_read_after_write;
           Alcotest.test_case "sequential transactions" `Quick
             test_sequential_transactions;
