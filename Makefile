@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json crash nemesis explore clean
+.PHONY: all build test lint bench bench-json crash nemesis disk-nemesis explore clean
 
 all: build
 
@@ -37,6 +37,14 @@ crash:
 nemesis:
 	dune build bin/nemesis.exe
 	dune exec bin/nemesis.exe -- > NEMESIS.md; s=$$?; cat NEMESIS.md; exit $$s
+
+# Disk-fault campaign: torn WAL writes, checkpoint corruption, and
+# recovery-time re-crashes across protocol x placement, audited by the
+# shared invariant battery (see docs/RECOVERY.md, "Storage faults").
+# Exit code = number of audit violations; byte-identical per seed.
+disk-nemesis:
+	dune build bin/disk_nemesis.exe
+	dune exec bin/disk_nemesis.exe -- > DISK_NEMESIS.md; s=$$?; cat DISK_NEMESIS.md; exit $$s
 
 # Bounded exhaustive schedule exploration with DPOR: the N=3 scenario
 # matrix across all six commit protocols (see docs/EXPLORER.md).  Every

@@ -16,7 +16,7 @@ let list_points seed protocols ns =
           let stream = Sweep.discover ~protocol ~n ~seed () in
           let tally = Hashtbl.create 32 in
           List.iter
-            (fun (site, point) ->
+            (fun (site, point, _cycle) ->
               let k =
                 Option.value (Hashtbl.find_opt tally (site, point)) ~default:0
               in

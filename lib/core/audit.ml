@@ -74,23 +74,33 @@ let site_hygiene cluster =
         add "timers"
           (Printf.sprintf "site %d: %d protocol timers still pending" id pt);
       (* WAL group-commit accounting must be crash-consistent: every
-         device cycle ever started either completed or was lost to a
-         crash (the device cannot still be busy at quiescence), and no
-         force continuation is left waiting on a live site. *)
+         device cycle ever started either completed, was lost entirely
+         to a crash, or was left torn by one (the device cannot still be
+         busy at quiescence), and no force continuation is left waiting
+         on a live site. *)
       let ws = Site.wal_stats s in
       if ws.Rt_storage.Wal.st_started
          <> ws.Rt_storage.Wal.st_completed + ws.Rt_storage.Wal.st_lost
+            + ws.Rt_storage.Wal.st_torn
       then
         add "wal-stats"
           (Printf.sprintf
              "site %d: force cycles unaccounted (started=%d completed=%d \
-              lost=%d)"
+              lost=%d torn=%d)"
              id ws.Rt_storage.Wal.st_started ws.Rt_storage.Wal.st_completed
-             ws.Rt_storage.Wal.st_lost);
+             ws.Rt_storage.Wal.st_lost ws.Rt_storage.Wal.st_torn);
       if ws.Rt_storage.Wal.st_pending > 0 then
         add "wal-stats"
           (Printf.sprintf "site %d: %d force continuations still waiting" id
-             ws.Rt_storage.Wal.st_pending))
+             ws.Rt_storage.Wal.st_pending);
+      (* Corruption below the durable horizon is silent data loss the
+         moment recovery accepts it; the scan refuses the records, and
+         this check makes the refusal loud. *)
+      let cd = Site.corruption_detected s in
+      if cd > 0 then
+        add "storage"
+          (Printf.sprintf
+             "site %d: %d durable log records lost to corruption" id cd))
     (Cluster.sites cluster);
   List.rev !out
 

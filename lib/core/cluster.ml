@@ -48,7 +48,7 @@ let net_stats t = Rt_net.Net.stats t.net
 let submit t ~site:i ~ops ~k = Site.submit (site t i) ~ops ~k
 let run ?until t = Engine.run ?until t.engine
 let now t = Engine.now t.engine
-let crash_site t i = Site.crash (site t i)
+let crash_site ?torn t i = Site.crash ?torn (site t i)
 let recover_site t i = Site.recover (site t i)
 let partition t groups = Rt_net.Partition.split (Rt_net.Net.partition t.net) groups
 let heal t = Rt_net.Partition.heal (Rt_net.Net.partition t.net)

@@ -78,6 +78,17 @@ type t = {
       (** 2PC only: participants that performed no writes vote read-only,
           release immediately, and skip phase 2 (default off so the
           baseline experiments measure the unoptimized protocol). *)
+  storage_faults : Rt_storage.Storage_faults.t;
+      (** What the stable-storage device may do to its bytes: torn
+          group-commit cycles on crash, latent corruption below the
+          durable horizon, corrupt checkpoints.  Default
+          {!Rt_storage.Storage_faults.off} — the perfect device; every
+          harness is byte-identical under it. *)
+  px_early_stash_cap : int;
+      (** Maximum early (pre-machine) Paxos messages stashed per
+          transaction at a participant; on overflow the oldest stashed
+          message is dropped (the sender retransmits).  Must be
+          positive; default 32. *)
   seed : int;
 }
 
@@ -94,5 +105,7 @@ val validate : t -> unit
     count, a placement whose site count or replication degree disagrees
     with [sites], a primary site out of range, quorum thresholds that
     violate intersection or don't match the site count, negative
-    latencies/timeouts, a non-positive heartbeat interval, or retry
-    backoff knobs that are non-positive or cap below base. *)
+    latencies/timeouts, a non-positive heartbeat interval, retry
+    backoff knobs that are non-positive or cap below base, a storage
+    fault probability outside [0,1], or a non-positive
+    [px_early_stash_cap]. *)

@@ -71,10 +71,26 @@ let observe_crash_points cluster =
     (Some (fun ~site ~point -> seen := (site, point) :: !seen));
   fun () -> List.rev !seen
 
+let observe_crash_points_sized cluster =
+  let engine = Cluster.engine cluster in
+  let seen = ref [] in
+  Engine.set_crash_hook engine
+    (Some
+       (fun ~site ~point ->
+         (* Snapshot the WAL's cycle size at announcement time: for
+            "wal:force-durable" this is the [n] of "crash after [k] of
+            [n] records", letting a sweep enumerate every torn point of
+            the cycle it just observed. *)
+         let cycle =
+           Site.wal_last_cycle_size (Cluster.site cluster site)
+         in
+         seen := (site, point, cycle) :: !seen));
+  fun () -> List.rev !seen
+
 let clear_crash_points cluster =
   Engine.set_crash_hook (Cluster.engine cluster) None
 
-let crash_at_point cluster ~site ~point ~occurrence ~recover_after =
+let crash_at_point cluster ?torn ~site ~point ~occurrence ~recover_after () =
   let engine = Cluster.engine cluster in
   let count = ref 0 in
   let fired = ref false in
@@ -85,7 +101,7 @@ let crash_at_point cluster ~site ~point ~occurrence ~recover_after =
            incr count;
            if !count = occurrence then begin
              fired := true;
-             Cluster.crash_site cluster site;
+             Cluster.crash_site ?torn cluster site;
              ignore
                (Engine.schedule_after engine recover_after (fun () ->
                     Cluster.recover_site cluster site))

@@ -46,20 +46,31 @@ val observe_crash_points : Cluster.t -> unit -> (Ids.site_id * string) list
 (** [observe_crash_points cluster] starts recording every announced point;
     the returned thunk yields the stream so far, in announcement order. *)
 
+val observe_crash_points_sized :
+  Cluster.t -> unit -> (Ids.site_id * string * int) list
+(** Like {!observe_crash_points}, additionally recording the announcing
+    site's WAL device-cycle size at each point — for
+    ["wal:force-durable"], the number of records [n] in the cycle that
+    just flushed, from which a torn-write sweep enumerates every
+    crash-after-[k] variant. *)
+
 val crash_at_point :
   Cluster.t ->
+  ?torn:int ->
   site:Ids.site_id ->
   point:string ->
   occurrence:int ->
   recover_after:Time.t ->
   unit ->
+  unit ->
   bool
-(** [crash_at_point cluster ~site ~point ~occurrence ~recover_after] crashes
-    [site] the [occurrence]-th time (1-based) it announces [point], then
-    schedules its recovery [recover_after] later.  Fires at most once per
-    installation.  The returned thunk reports whether the injection
-    happened — a discovery-pass point that is never reached again under the
-    same seed is a determinism violation. *)
+(** [crash_at_point cluster ~site ~point ~occurrence ~recover_after ()]
+    crashes [site] the [occurrence]-th time (1-based) it announces
+    [point], then schedules its recovery [recover_after] later.  Fires at
+    most once per installation.  [torn] is forwarded to the crash (see
+    {!Cluster.crash_site}).  The returned thunk reports whether the
+    injection happened — a discovery-pass point that is never reached
+    again under the same seed is a determinism violation. *)
 
 val clear_crash_points : Cluster.t -> unit
 (** Remove the engine's crash-point hook. *)

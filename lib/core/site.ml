@@ -10,6 +10,7 @@ module RC = Rt_replica.Replica_control
 module Lock = Rt_lock.Lock_table
 module Kv = Rt_storage.Kv
 module Wal = Rt_storage.Wal
+module Storage_faults = Rt_storage.Storage_faults
 module LR = Rt_storage.Log_record
 module Checkpoint = Rt_storage.Checkpoint
 module Recovery = Rt_storage.Recovery
@@ -126,6 +127,14 @@ type t = {
   kv : Kv.t;
   wal : LR.t Wal.t;
   cp : Checkpoint.t;
+  fault_rng : Rng.t option;
+      (* Drives probabilistic storage faults (checkpoint corruption on
+         crash); [None] when the fault profile is off, so the default
+         configuration never draws from the engine's RNG tree. *)
+  mutable torn_truncated : int;  (* torn-tail records dropped by scans *)
+  mutable corruption_detected : int;  (* durable records lost to corruption *)
+  mutable cp_fallbacks : int;  (* recoveries that could not use the latest
+                                  checkpoint *)
   mutable locks : Lock.t;
   mutable hb : Heartbeat.t option;
   mutable up : bool;
@@ -163,7 +172,11 @@ let serving t = t.up && not t.catching
 let kv t = t.kv
 let wal_forces t = Wal.force_count t.wal
 let wal_stats t = Wal.stats t.wal
+let wal_last_cycle_size t = Wal.last_cycle_size t.wal
 let log_length t = Wal.length t.wal
+let torn_truncated t = t.torn_truncated
+let corruption_detected t = t.corruption_detected
+let checkpoint_fallbacks t = t.cp_fallbacks
 let latencies t = t.lat
 
 let active_participants t =
@@ -241,6 +254,13 @@ let create ~engine ~id ~config ~send ~counters =
   Config.validate config;
   let placement = Config.placement config in
   let site_ids = List.init config.Config.sites (fun i -> i) in
+  (* Split a fault stream only when the profile is on: [Rng.split]
+     advances the engine's root generator, so the default (faults-off)
+     configuration must not touch it. *)
+  let fault_rng =
+    if Storage_faults.is_off config.Config.storage_faults then None
+    else Some (Rng.split (Engine.rng engine))
+  in
   {
     engine;
     id;
@@ -255,8 +275,13 @@ let create ~engine ~id ~config ~send ~counters =
     kv = Kv.create ();
     wal =
       Wal.create ~owner:id ~group_window:config.Config.group_commit_window
-        engine ~force_latency:config.force_latency ();
+        ~faults:config.Config.storage_faults ?fault_rng
+        ~checksum:LR.checksum engine ~force_latency:config.force_latency ();
     cp = Checkpoint.create ();
+    fault_rng;
+    torn_truncated = 0;
+    corruption_detected = 0;
+    cp_fallbacks = 0;
     locks = Lock.create ();
     to_table = Hashtbl.create 256;
     hb = None;
@@ -710,6 +735,17 @@ and maybe_checkpoint t =
       Ids.Txn_map.fold (fun _ lsn acc -> min lsn acc) t.first_lsn (durable + 1)
     in
     let upto = min durable (floor - 1) in
+    let upto =
+      (* With checkpoint corruption armed, recovery may have to install
+         the previous snapshot instead of the latest; keep the log
+         suffix that covers it, or the fallback would have nothing to
+         replay.  Off-profile truncation is untouched. *)
+      if Storage_faults.is_off t.config.Config.storage_faults then upto
+      else
+        match Checkpoint.previous_lsn t.cp with
+        | Some prev -> min upto prev
+        | None -> upto
+    in
     if upto > Wal.first_lsn t.wal - 1 then Wal.truncate t.wal ~upto;
     Counter.incr t.counters "checkpoints"
   end
@@ -1513,9 +1549,16 @@ let route_commit_msg t ~src txn (pmsg : P.msg) prepare =
                     Option.value ~default:[]
                       (Ids.Txn_map.find_opt t.px_early txn)
                   in
-                  if List.length pending < 32 then
-                    Ids.Txn_map.replace t.px_early txn
-                      ((src, pmsg) :: pending)
+                  let cap = t.config.Config.px_early_stash_cap in
+                  let pending =
+                    (* On overflow drop the oldest stash entry (list is
+                       newest-first): recent acceptor traffic supersedes
+                       it, and its sender retransmits anyway. *)
+                    if List.length pending >= cap then
+                      List.filteri (fun i _ -> i < cap - 1) pending
+                    else pending
+                  in
+                  Ids.Txn_map.replace t.px_early txn ((src, pmsg) :: pending)
               | _ -> answer_unknown t ~src txn pmsg)))
   | P.State_report _ | P.Pq_state_report _ -> to_part ()
   | P.Decision_req -> (
@@ -1627,14 +1670,29 @@ let handle_catchup_reply t entries ~complete =
 (* Crash and recovery                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let crash t =
+let crash ?torn t =
   if t.up then begin
     t.up <- false;
     t.catching <- false;
     t.incarnation <- t.incarnation + 1;
     Counter.incr t.counters "crashes";
     Option.iter Heartbeat.stop t.hb;
-    Wal.crash t.wal;
+    Wal.crash ?torn t.wal;
+    (* Checkpoint sectors can go stale/corrupt in the same power loss.
+       Gated on a previous snapshot existing: the bootstrap checkpoint
+       holds preloaded data that is in no log record, so losing it would
+       model unrecoverable damage outside this fault class. *)
+    (match t.fault_rng with
+    | Some rng
+      when t.config.Config.storage_faults.Storage_faults.checkpoint_corrupt
+           > 0.
+           && Checkpoint.has_previous t.cp ->
+        if
+          Rng.bernoulli rng
+            ~p:
+              t.config.Config.storage_faults.Storage_faults.checkpoint_corrupt
+        then Checkpoint.corrupt t.cp
+    | _ -> ());
     Kv.clear t.kv;
     t.locks <- Lock.create ();
     Hashtbl.reset t.to_table;
@@ -1662,6 +1720,29 @@ let crash t =
     Ids.Txn_map.reset t.first_lsn
   end
 
+(* A crash landing inside the recovery replay window: the site is still
+   down, but the scheduled up-transition (and any in-progress replay
+   effects in the volatile store) must be discarded so a fresh [recover]
+   starts over.  Bumping the incarnation cancels the pending
+   up-transition; the store is cleared because replay had already begun
+   filling it.  On an up site this is an ordinary crash. *)
+let crash_recovering ?torn t =
+  if t.up then crash ?torn t
+  else begin
+    t.incarnation <- t.incarnation + 1;
+    Counter.incr t.counters "crashes";
+    Wal.crash t.wal;
+    Kv.clear t.kv
+  end
+
+(* Deterministic fault-injection entry points (nemesis / tests). *)
+
+let corrupt_checkpoint t =
+  (* Same bootstrap-checkpoint gate as the probabilistic path. *)
+  if Checkpoint.has_previous t.cp then Checkpoint.corrupt t.cp
+
+let corrupt_wal_record t ~lsn = Wal.corrupt_record t.wal ~lsn
+
 let doubt_state_of (d : Recovery.doubt_state) : P.participant_state =
   match d with
   | Recovery.D_prepared -> P.P_uncertain
@@ -1672,9 +1753,31 @@ let recover t =
   if not t.up then begin
     t.incarnation <- t.incarnation + 1;
     Counter.incr t.counters "recoveries";
-    (* Restore the checkpoint and replay the durable log now; surface the
-       result only after the simulated replay time has passed. *)
-    ignore (Checkpoint.restore_latest t.cp t.kv);
+    (* Integrity scan first: validate checksums and the sequence chain in
+       LSN order, truncating at the first break.  A torn group-commit
+       tail is dropped cleanly; a break below the durable horizon is
+       data loss — count it so the audit can report it loudly. *)
+    let scan = Wal.scan t.wal in
+    t.torn_truncated <- t.torn_truncated + scan.Wal.sc_torn;
+    t.corruption_detected <- t.corruption_detected + scan.Wal.sc_corrupt;
+    if scan.Wal.sc_torn > 0 then
+      Counter.incr t.counters "torn_tails_truncated";
+    if scan.Wal.sc_corrupt > 0 then
+      Counter.incr t.counters "log_corruption_detected";
+    (* Restore the checkpoint (validated: a corrupt latest snapshot falls
+       back to the previous one, or to full log replay) and replay the
+       durable log now; surface the result only after the simulated
+       replay time has passed. *)
+    (match Checkpoint.restore_validated t.cp t.kv with
+    | Checkpoint.R_latest _ -> ()
+    | Checkpoint.R_previous _ ->
+        t.cp_fallbacks <- t.cp_fallbacks + 1;
+        Counter.incr t.counters "checkpoint_fallbacks"
+    | Checkpoint.R_none ->
+        if Option.is_some (Checkpoint.latest t.cp) then begin
+          t.cp_fallbacks <- t.cp_fallbacks + 1;
+          Counter.incr t.counters "checkpoint_fallbacks"
+        end);
     let log = Wal.durable_records t.wal in
     let outcome = Recovery.recover t.kv log in
     let duration =

@@ -112,13 +112,42 @@ val up_view : t -> Ids.site_id list
 (** Sites this site's failure detector believes operational (self
     included when up). *)
 
-val crash : t -> unit
+val crash : ?torn:int -> t -> unit
 (** Power off: volatile state (store, locks, machines, timers) is lost;
-    only the durable log prefix and checkpoints survive. *)
+    only the durable log prefix and checkpoints survive.
+
+    [torn] (honoured only when [Config.storage_faults.torn_writes] is on
+    and a WAL device cycle is in flight) tears the cycle: exactly [torn]
+    of its records survive as durable, the rest remain on disk as
+    garbage for the recovery scan to find.  With [checkpoint_corrupt]
+    armed the crash may also corrupt the latest (non-bootstrap)
+    checkpoint. *)
+
+val crash_recovering : ?torn:int -> t -> unit
+(** Crash a site that is still inside its recovery replay window: the
+    pending up-transition is cancelled and the partially-replayed store
+    discarded, so the next {!recover} starts from scratch (recovery is
+    idempotent).  On an up site this is an ordinary {!crash}. *)
 
 val recover : t -> unit
-(** Restart a crashed site.  Replay takes simulated time; termination for
-    in-doubt transactions and any catch-up transfer start afterwards. *)
+(** Restart a crashed site.  The WAL is integrity-scanned first (torn
+    tails truncated, sub-horizon corruption counted loudly), the latest
+    valid checkpoint is installed ({!Rt_storage.Checkpoint.restore_validated}),
+    and the durable log is replayed.  Replay takes simulated time;
+    termination for in-doubt transactions and any catch-up transfer
+    start afterwards. *)
+
+val corrupt_checkpoint : t -> unit
+(** Deterministic fault injection: corrupt the latest checkpoint so the
+    next recovery must fall back.  No-op when only the bootstrap
+    checkpoint exists (its preloaded data is in no log record, so the
+    loss would be unrecoverable by design). *)
+
+val corrupt_wal_record : t -> lsn:Rt_storage.Wal.lsn -> unit
+(** Deterministic fault injection: break the stored checksum of one
+    retained log record.  If the record lies below the durable horizon,
+    the next recovery scan truncates there and reports the loss via
+    {!corruption_detected}. *)
 
 val kv : t -> Rt_storage.Kv.t
 (** The live store (test/verification access). *)
@@ -134,6 +163,22 @@ val wal_forces : t -> int
 val wal_stats : t -> Rt_storage.Wal.stats
 (** Full device-cycle accounting; the sweep audit asserts its
     crash-consistency invariant. *)
+
+val wal_last_cycle_size : t -> int
+(** Records covered by the WAL's current (or most recent) device cycle;
+    the [n] a torn-write sweep enumerates crash-after-[k] points from. *)
+
+val torn_truncated : t -> int
+(** Torn-tail records recovery scans have dropped (clean truncation). *)
+
+val corruption_detected : t -> int
+(** Durable log records recovery scans found corrupt and refused to
+    replay.  Data loss: the audit reports any non-zero value as a
+    storage violation. *)
+
+val checkpoint_fallbacks : t -> int
+(** Recoveries that could not install the latest checkpoint (fell back
+    to the previous snapshot or full log replay). *)
 
 val log_length : t -> int
 

@@ -10,11 +10,17 @@ type case = {
   cs_role : string;
   cs_point : string;
   cs_occurrence : int;
+  cs_torn : int option;
+      (* Some k: tear the in-flight device cycle so only k of its records
+         survive the crash.  None: the classical atomic crash. *)
 }
 
 let pp_case fmt c =
-  Format.fprintf fmt "%s n=%d %s %s(site %d) %s#%d" c.cs_protocol c.cs_n
+  Format.fprintf fmt "%s n=%d %s %s(site %d) %s#%d%s" c.cs_protocol c.cs_n
     c.cs_placement c.cs_role c.cs_site c.cs_point c.cs_occurrence
+    (match c.cs_torn with
+    | None -> ""
+    | Some k -> Printf.sprintf " torn=%d" k)
 
 type violation = { v_case : case; v_invariant : string; v_detail : string }
 
@@ -72,11 +78,20 @@ type sweep_config = {
       (* Knob adjustments applied after the base config is built — lets a
          sweep variant turn on group commit or batching without a new
          placement. *)
+  cf_torn : bool;
+      (* Enumerate torn-write variants of every "wal:force-durable"
+         point: for a cycle of n records, crash after k of them for each
+         k < n.  Requires cf_tune to arm storage_faults.torn_writes. *)
 }
 
 let default_configs =
   [
-    { cf_name = "full"; cf_choose = (fun _ -> Full); cf_tune = Fun.id };
+    {
+      cf_name = "full";
+      cf_choose = (fun _ -> Full);
+      cf_tune = Fun.id;
+      cf_torn = false;
+    };
     {
       cf_name = "sharded";
       cf_choose =
@@ -84,6 +99,7 @@ let default_configs =
           (* Below 4 sites a 3-replica shard is not genuinely partial. *)
           if n >= 4 then Sharded (sharded_placement ~n) else Skip);
       cf_tune = Fun.id;
+      cf_torn = false;
     };
     {
       (* Group commit moves the force boundaries (the flush-window timer
@@ -99,6 +115,27 @@ let default_configs =
             Config.group_commit_window = Time.us 20;
             batch_window = Some (Time.us 10);
           });
+      cf_torn = false;
+    };
+    {
+      (* Torn-write sweep: the same group-commit window as full+gc so
+         device cycles cover several records, with the storage fault
+         profile's torn_writes armed.  Each observed "wal:force-durable"
+         cycle of n records yields n extra injections — crash after k of
+         n, for every k < n — on top of the classical atomic-crash
+         case (k = n is that case). *)
+      cf_name = "full+torn";
+      cf_choose = (fun _ -> Full);
+      cf_tune =
+        (fun c ->
+          {
+            c with
+            Config.group_commit_window = Time.us 20;
+            batch_window = Some (Time.us 10);
+            storage_faults =
+              { Rt_storage.Storage_faults.off with torn_writes = true };
+          });
+      cf_torn = true;
     };
   ]
 
@@ -141,14 +178,17 @@ let start_workload cluster =
   outcome
 
 (* Discovery pass: run the workload uninjected and record the ordered
-   stream of (site, point) announcements for the sites we target. *)
+   stream of (site, point, cycle-size) announcements for the sites we
+   target.  The cycle size is the WAL's in-flight device-cycle record
+   count at announcement time — the [n] a torn sweep enumerates k < n
+   from at "wal:force-durable" points. *)
 let discover ?placement ?tune ~protocol ~n ~seed () =
   let cluster = make_cluster ?placement ?tune ~protocol ~n ~seed () in
-  let points = Rt_core.Failure.observe_crash_points cluster in
+  let points = Rt_core.Failure.observe_crash_points_sized cluster in
   let _outcome = start_workload cluster in
   Cluster.run ~until:horizon cluster;
   let targets = roles ~protocol ~n in
-  List.filter (fun (s, _) -> List.mem_assoc s targets) (points ())
+  List.filter (fun (s, _, _) -> List.mem_assoc s targets) (points ())
 
 (* The invariant battery itself lives in Rt_core.Audit (shared with soak
    and the nemesis campaigns); here we only add the sweep-specific checks
@@ -183,8 +223,9 @@ let audit ~case ~cluster ~outcome ~reached =
 let run_case ?placement ?tune ~case ~protocol ~seed () =
   let cluster = make_cluster ?placement ?tune ~protocol ~n:case.cs_n ~seed () in
   let injected =
-    Rt_core.Failure.crash_at_point cluster ~site:case.cs_site
-      ~point:case.cs_point ~occurrence:case.cs_occurrence ~recover_after
+    Rt_core.Failure.crash_at_point cluster ?torn:case.cs_torn
+      ~site:case.cs_site ~point:case.cs_point ~occurrence:case.cs_occurrence
+      ~recover_after ()
   in
   let outcome = start_workload cluster in
   Cluster.run ~until:horizon cluster;
@@ -217,8 +258,8 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                      injection. *)
                   let occ = Hashtbl.create 32 in
                   let cases =
-                    List.map
-                      (fun (site, point) ->
+                    List.concat_map
+                      (fun (site, point, cycle) ->
                         let k =
                           1
                           + Option.value
@@ -226,15 +267,31 @@ let sweep ?(seed = 0) ?(protocols = default_protocols) ?(ns = default_ns)
                               ~default:0
                         in
                         Hashtbl.replace occ (site, point) k;
-                        {
-                          cs_protocol = name;
-                          cs_n = n;
-                          cs_placement = cf.cf_name;
-                          cs_site = site;
-                          cs_role = List.assoc site targets;
-                          cs_point = point;
-                          cs_occurrence = k;
-                        })
+                        let base =
+                          {
+                            cs_protocol = name;
+                            cs_n = n;
+                            cs_placement = cf.cf_name;
+                            cs_site = site;
+                            cs_role = List.assoc site targets;
+                            cs_point = point;
+                            cs_occurrence = k;
+                            cs_torn = None;
+                          }
+                        in
+                        let torn_variants =
+                          (* Each k < n is a distinct torn crash; k = n
+                             is the atomic case already covered. *)
+                          if
+                            cf.cf_torn
+                            && String.equal point "wal:force-durable"
+                            && cycle > 0
+                          then
+                            List.init cycle (fun j ->
+                                { base with cs_torn = Some j })
+                          else []
+                        in
+                        base :: torn_variants)
                       stream
                   in
                   let vs =

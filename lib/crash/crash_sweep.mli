@@ -26,6 +26,11 @@ type case = {
           ["leader"]/["acceptor"]/["participant"]. *)
   cs_point : string;
   cs_occurrence : int;  (** 1-based occurrence of the point at the site. *)
+  cs_torn : int option;
+      (** [Some k]: tear the in-flight WAL device cycle at the crash so
+          only [k] of its records survive as durable ([k < n] for a
+          cycle of [n] records; the storage fault profile must have
+          [torn_writes] on).  [None]: classical atomic crash. *)
 }
 
 val pp_case : Format.formatter -> case -> unit
@@ -71,6 +76,10 @@ type sweep_config = {
   cf_tune : Rt_core.Config.t -> Rt_core.Config.t;
       (** Knob adjustments applied to the built config (e.g. enable group
           commit or batching); [Fun.id] for the classical settings. *)
+  cf_torn : bool;
+      (** Enumerate torn-write variants of every ["wal:force-durable"]
+          point: crash after [k] of the cycle's [n] records, for each
+          [k < n].  [cf_tune] must arm [storage_faults.torn_writes]. *)
 }
 
 val default_configs : sweep_config list
@@ -78,7 +87,9 @@ val default_configs : sweep_config list
     configuration at sizes ≥ 4, plus full replication with WAL group
     commit and link batching enabled ("full+gc") — group commit moves
     the force boundaries, so the sweep re-discovers its crash points
-    there. *)
+    there — plus "full+torn": the same windows with
+    [storage_faults.torn_writes] armed and every torn variant of every
+    observed force-durable cycle injected. *)
 
 val sweep :
   ?seed:int ->
@@ -109,9 +120,12 @@ val discover :
   n:int ->
   seed:int ->
   unit ->
-  (int * string) list
-(** The discovery pass alone: the ordered (site, point) stream at the
-    targeted sites for an uninjected run. *)
+  (int * string * int) list
+(** The discovery pass alone: the ordered (site, point, cycle-size)
+    stream at the targeted sites for an uninjected run.  The cycle size
+    is the announcing site's WAL device-cycle record count at the
+    announcement — the [n] torn variants are enumerated from at
+    ["wal:force-durable"] points. *)
 
 val render : report -> string
 (** Markdown summary table followed by one line per violation;

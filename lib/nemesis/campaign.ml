@@ -74,6 +74,16 @@ type result = {
   r_dropped_link : int;
   r_dropped_partition : int;
   r_duplicated : int;
+  r_torn : int;
+      (* Torn WAL tails truncated by recovery's scan, summed over sites
+         (cumulative across incarnations).  Always 0 with storage faults
+         off. *)
+  r_cp_fallbacks : int;
+      (* Recoveries that found the latest checkpoint corrupt and fell
+         back to the previous snapshot or a full log replay. *)
+  r_corruption : int;
+      (* Durable log records lost to corruption — every one is also a
+         loud "storage" audit violation, so a clean campaign has 0. *)
   r_drain : Time.t option;
       (* Heal-to-quiet time: how long after the last fault until every
          site is hygiene-clean.  [None] = never within the drain cap. *)
@@ -130,6 +140,12 @@ let apply_fault cluster fault =
   | Scenario.Recover i ->
       if not (Site.is_up (Cluster.site cluster i)) then
         Cluster.recover_site cluster i
+  | Scenario.Torn_crash { site; keep } ->
+      if Site.is_up (Cluster.site cluster site) then
+        Cluster.crash_site ~torn:keep cluster site
+  | Scenario.Corrupt_checkpoint i ->
+      Site.corrupt_checkpoint (Cluster.site cluster i)
+  | Scenario.Recrash i -> Site.crash_recovering (Cluster.site cluster i)
 
 let drain_step = Time.ms 50
 let drain_cap = Time.sec 5
@@ -219,6 +235,7 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
   in
   let stats = Client.total fleet in
   let net = Cluster.net_stats cluster in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 (Cluster.sites cluster) in
   {
     r_scenario = Scenario.name scenario;
     r_protocol = protocol_name;
@@ -230,6 +247,9 @@ let run_one ?(seed = 1) ?(sites = 5) ?(clients = 4) ?(duration = Time.ms 300)
     r_dropped_link = net.dropped_link;
     r_dropped_partition = net.dropped_partition;
     r_duplicated = net.duplicated;
+    r_torn = sum Site.torn_truncated;
+    r_cp_fallbacks = sum Site.checkpoint_fallbacks;
+    r_corruption = sum Site.corruption_detected;
     r_drain;
     r_violations = violations;
     r_envelope = envelope;

@@ -41,6 +41,16 @@ type result = {
   r_dropped_link : int;
   r_dropped_partition : int;
   r_duplicated : int;
+  r_torn : int;
+      (** Torn WAL tails truncated by recovery's scan, summed over every
+          site (cumulative across incarnations).  Always 0 with the
+          storage fault profile off. *)
+  r_cp_fallbacks : int;
+      (** Recoveries that found the latest checkpoint snapshot corrupt
+          and fell back to the previous snapshot or a full log replay. *)
+  r_corruption : int;
+      (** Durable log records lost to corruption; every one is also a
+          loud "storage" audit violation, so a clean campaign shows 0. *)
   r_drain : Time.t option;
       (** Time from heal until every site is hygiene-clean; [None] when
           the cluster never drained within the cap (also reported as a
@@ -89,6 +99,9 @@ val run :
   result list
 (** The full scenario × protocol × placement matrix, every cell tuned by
     [tune] (default: no adjustment). *)
+
+val pp_drain : Format.formatter -> Time.t option -> unit
+(** ["stuck"] for [None], otherwise the drain time in milliseconds. *)
 
 val render : result list -> string
 (** Markdown table plus one line per violation.  Contains no wall-clock

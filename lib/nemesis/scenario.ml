@@ -22,6 +22,22 @@ type fault =
   | Reset_links  (* drop every link overlay, back to the config default *)
   | Crash of int
   | Recover of int
+  | Torn_crash of { site : int; keep : int }
+      (* Crash with the storage fault profile's torn-write mode: when a
+         WAL device cycle is in flight at the crash, only [keep] of its
+         records survive as durable (clamped to the cycle size) and the
+         rest are left as a garbled tail for recovery's scan to
+         truncate.  With no cycle in flight it is a classical crash.
+         Requires [Config.storage_faults.torn_writes]. *)
+  | Corrupt_checkpoint of int
+      (* Flip the latest checkpoint snapshot's checksum so the next
+         recovery must fall back — previous snapshot or full log replay.
+         No-op until the site has a previous snapshot to fall back to
+         (the fallback chain is never knowingly broken). *)
+  | Recrash of int
+      (* Crash again regardless of up/down state: landing while the site
+         is still down models a crash during recovery (the log must
+         replay idempotently on the next attempt). *)
 
 type step = Time.t * fault
 

@@ -25,6 +25,20 @@ type fault =
   | Reset_links  (** Remove every link overlay. *)
   | Crash of int
   | Recover of int
+  | Torn_crash of { site : int; keep : int }
+      (** Crash with the storage fault profile's torn-write mode: when a
+          WAL device cycle is in flight, only [keep] of its records
+          survive as durable (clamped to the cycle size) and the rest
+          are left as a garbled tail for recovery's scan to truncate;
+          otherwise a classical crash.  The campaign's config must arm
+          [Config.storage_faults.torn_writes]. *)
+  | Corrupt_checkpoint of int
+      (** Flip the latest checkpoint snapshot's checksum so the next
+          recovery falls back to the previous snapshot or a full log
+          replay.  No-op until the site has a previous snapshot. *)
+  | Recrash of int
+      (** Crash again regardless of up/down state — landing while the
+          site is still down models a crash during recovery. *)
 
 type step = Time.t * fault
 

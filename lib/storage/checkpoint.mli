@@ -34,7 +34,37 @@ val shard_snapshot : t -> shard:int -> (string * Kv.item) list option
 val restore_latest : t -> Kv.t -> Wal.lsn
 (** Load the latest snapshot into the store (clearing it first) and return
     the LSN recovery should replay from; replays from LSN 1 over an empty
-    store when no checkpoint exists. *)
+    store when no checkpoint exists.  Trusts the snapshot blindly — use
+    {!restore_validated} when the storage fault profile is on. *)
+
+type restored =
+  | R_latest of Wal.lsn  (** Latest snapshot valid and restored. *)
+  | R_previous of Wal.lsn
+      (** Latest snapshot corrupt; previous restored instead. *)
+  | R_none  (** No usable snapshot; store cleared, full log replay. *)
+
+val restore_validated : t -> Kv.t -> restored
+(** Corruption-aware install: validate the latest snapshot's checksum
+    before restoring it; on failure fall back to the previous snapshot,
+    and when that is also unusable clear the store so recovery replays
+    the full log.  With no corruption this is exactly
+    {!restore_latest}. *)
+
+val corrupt : t -> unit
+(** Fault injection: break the latest snapshot's stored checksum (no-op
+    when no snapshot exists).  {!restore_validated} will then fall back;
+    {!restore_latest} would restore it blindly. *)
+
+val has_previous : t -> bool
+(** Whether a previous (pre-latest) snapshot is retained.  Fault
+    injectors gate checkpoint corruption on this: the bootstrap
+    checkpoint can hold preloaded data that is in no log record, so
+    corrupting it would model unrecoverable (out-of-scope) loss. *)
+
+val previous_lsn : t -> Wal.lsn option
+(** LSN of the retained previous snapshot, if any.  When checkpoint
+    corruption is armed, log truncation must not pass this point or the
+    fallback snapshot would have no covering log suffix. *)
 
 val count : t -> int
 (** Checkpoints taken so far. *)

@@ -24,6 +24,16 @@ let txn_of = function
       Some t
   | Checkpoint_marker _ -> None
 
+(* Structural checksum over the whole record (digest of the marshalled
+   bytes, folded to an int).  Stored alongside each record by the WAL so
+   recovery can tell a validly-written record from a torn or corrupt
+   sector. *)
+let checksum t =
+  let d = Digest.string (Marshal.to_string t []) in
+  let h = ref 0 in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) d;
+  !h land max_int
+
 let pp fmt = function
   | Update { txn; key; version; _ } ->
       Format.fprintf fmt "Update(%a,%s,v%d)" Ids.Txn_id.pp txn key version

@@ -31,4 +31,10 @@ type t =
 val txn_of : t -> Ids.Txn_id.t option
 (** The transaction a record belongs to, if any. *)
 
+val checksum : t -> int
+(** Deterministic structural checksum of the record, covering every
+    field.  The WAL stores it with the record (plus a sequence-chain
+    field); a recovery scan recomputes it to detect torn or corrupt
+    records. *)
+
 val pp : Format.formatter -> t -> unit

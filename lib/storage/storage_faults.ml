@@ -1,0 +1,20 @@
+type t = {
+  torn_writes : bool;
+  corrupt_on_crash : float;
+  checkpoint_corrupt : float;
+}
+
+let off = { torn_writes = false; corrupt_on_crash = 0.; checkpoint_corrupt = 0. }
+
+let is_off t =
+  (not t.torn_writes) && t.corrupt_on_crash = 0. && t.checkpoint_corrupt = 0.
+
+let validate t =
+  let probability name p =
+    if p < 0. || p > 1. then
+      invalid_arg
+        (Printf.sprintf "Storage_faults: %s must be a probability in [0,1]"
+           name)
+  in
+  probability "corrupt_on_crash" t.corrupt_on_crash;
+  probability "checkpoint_corrupt" t.checkpoint_corrupt

@@ -1,0 +1,37 @@
+(** Storage fault profile: what the simulated stable-storage device is
+    allowed to do to the bytes it was trusted with.
+
+    The default profile {!off} is the perfect device the paper assumes —
+    every harness is byte-identical under it.  Turning a knob on arms the
+    corresponding fault in {!Wal} and {!Checkpoint}:
+
+    - [torn_writes]: a crash landing mid device cycle may leave only a
+      prefix of the in-flight group-commit cycle durable; the rest of the
+      cycle survives on disk as garbage (bad checksum) and everything
+      appended after the cycle is lost.  The torn point is chosen by the
+      injector ([Wal.crash ~torn:k]), not drawn at random, so sweeps stay
+      deterministic.
+    - [corrupt_on_crash]: at each crash, every record {e below} the
+      durable horizon is independently corrupted with this probability
+      (its stored checksum is flipped).  Recovery must detect this loudly
+      — it is data loss, not a clean torn tail.
+    - [checkpoint_corrupt]: at each crash, with this probability the
+      latest checkpoint snapshot is corrupted; recovery must fall back to
+      the previous snapshot or full log replay. *)
+
+type t = {
+  torn_writes : bool;
+  corrupt_on_crash : float;
+  checkpoint_corrupt : float;
+}
+
+val off : t
+(** The perfect device: no torn writes, no corruption. *)
+
+val is_off : t -> bool
+(** True when every fault knob is disabled; fault-path code (extra RNG
+    splits, corruption draws) must be gated on this so the default
+    profile stays byte-identical to the pre-fault simulator. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when a probability lies outside [0,1]. *)

@@ -11,6 +11,13 @@
     non-durable suffix and silences any outstanding completion
     callbacks.
 
+    Every record is stored with a checksum and a sequence-chain field
+    (checksum chained to its predecessor's chain value).  With the
+    default {!Storage_faults.off} profile these are write-only armour;
+    with a fault profile a crash can leave a torn cycle suffix or
+    corrupt records on disk, and {!scan} is the recovery-time pass that
+    validates the log in LSN order and truncates at the first break.
+
     The record type is a parameter so the same engine backs both database
     logs and protocol-state logs in tests. *)
 
@@ -21,6 +28,9 @@ type 'r t
 val create :
   ?owner:int ->
   ?group_window:Time.t ->
+  ?faults:Storage_faults.t ->
+  ?fault_rng:Rng.t ->
+  ?checksum:('r -> int) ->
   Engine.t ->
   force_latency:Time.t ->
   unit ->
@@ -35,7 +45,13 @@ val create :
     first {!force} of a group arms a per-site flush timer (labelled
     ["wal-flush"]) and the device starts only when it fires, so every
     force arriving inside the window shares one device cycle.  Zero
-    starts the device on the first force — the classical behaviour. *)
+    starts the device on the first force — the classical behaviour.
+
+    [faults] (default {!Storage_faults.off}) arms the storage fault
+    model; [fault_rng] drives the probabilistic knobs and is consulted
+    only when the profile is on (it is discarded when the profile is
+    off, so a faults-off log never draws from it).  [checksum] computes
+    per-record checksums (default: digest of the marshalled record). *)
 
 type lsn = int
 (** Log sequence numbers are 1-based; 0 means "nothing". *)
@@ -53,8 +69,40 @@ val force : 'r t -> ?upto:lsn -> (unit -> unit) -> unit
     via a zero-delay event.  Callbacks are dropped if the site crashes
     first. *)
 
-val crash : 'r t -> unit
-(** Lose the non-durable suffix and all pending force callbacks. *)
+val crash : ?torn:int -> 'r t -> unit
+(** Lose the non-durable suffix and all pending force callbacks.
+
+    [torn] (honoured only when the profile's [torn_writes] is on and a
+    device cycle is in flight or just completing) tears the cycle:
+    exactly [torn] of its records reach the platter and become durable,
+    the rest of the cycle survives on disk as garbage with broken
+    checksums — {!scan} must find and drop them — and records appended
+    after the cycle are lost cleanly.  Without [torn] (or with the
+    profile off) the crash is the classical atomic one.
+
+    With [corrupt_on_crash] > 0, each record below the durable horizon
+    is then independently corrupted with that probability. *)
+
+type scan_result = {
+  sc_torn : int;  (** Garbage records dropped from above the durable horizon. *)
+  sc_corrupt : int;  (** Durable records dropped — loud data loss. *)
+}
+
+val scan : 'r t -> scan_result
+(** Recovery-time integrity scan: validate checksum and chain in LSN
+    order and truncate the log at the first break.  A break {e above}
+    the durable horizon is a torn tail — dropped silently (clean
+    truncation).  A break {e at or below} the horizon is corruption of
+    supposedly-stable data: the log is truncated there, the durable
+    point rolled back so the corrupt records are never replayed, and
+    the damage reported in [sc_corrupt] for the caller to escalate
+    loudly.  Idempotent: a second scan finds nothing.  With the fault
+    profile off this is a no-op pass over valid records. *)
+
+val corrupt_record : 'r t -> lsn:lsn -> unit
+(** Deterministic fault injection: break the stored checksum of one
+    retained record.  Raises [Invalid_argument] if [lsn] is not
+    retained. *)
 
 val durable_records : 'r t -> 'r list
 (** Durable records in LSN order (after any truncation point). *)
@@ -77,18 +125,24 @@ val force_count : 'r t -> int
     nothing durable — so the counter is crash-consistent: it never counts
     work whose effects were discarded. *)
 
+val last_cycle_size : 'r t -> int
+(** Number of records covered by the current (or most recently started)
+    device cycle — the [n] in "crash after [k] of [n] records", so a
+    sweep can enumerate every torn point of a cycle it observes. *)
+
 type stats = {
   st_started : int;  (** Device cycles begun. *)
   st_completed : int;  (** Cycles whose completion event ran ([force_count]). *)
   st_lost : int;  (** Cycles interrupted by a crash before completing. *)
+  st_torn : int;  (** Cycles a crash left partially durable (torn). *)
   st_pending : int;  (** Force continuations currently waiting. *)
 }
 
 val stats : 'r t -> stats
 (** Crash-consistent cycle accounting.  Invariant, at every instant:
-    [st_started = st_completed + st_lost + (1 if the device is busy)].
-    At quiescence on a live site, [st_pending = 0].  The sweep audit
-    asserts both. *)
+    [st_started = st_completed + st_lost + st_torn + (1 if the device is
+    busy)].  At quiescence on a live site, [st_pending = 0].  The sweep
+    audit asserts both. *)
 
 val dump : 'r t -> record:('r -> string) -> string
 (** Canonical rendering of the log state for structural fingerprinting:

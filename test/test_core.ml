@@ -388,6 +388,38 @@ let test_paxos_early_vote_stashed_not_dropped () =
         true
         Time.(finished < ms 20)
 
+(* The same forced race with the early-vote stash capped at one entry:
+   overflow drops the oldest stashed vote, so some acceptors assemble
+   their quorum only after the leader's vote-collect timeout
+   retransmits.  The cap bounds memory and may cost latency — it must
+   never cost safety or liveness. *)
+let test_px_early_stash_cap_overflow_still_commits () =
+  let config =
+    { (Config.default ~sites:5 ()) with
+      commit_protocol = Config.Paxos_commit { f = None };
+      px_early_stash_cap = 1;
+      seed = 1 }
+  in
+  let cluster = Cluster.create config in
+  let net = Cluster.net cluster in
+  let slow = Rt_net.Net.reliable_link (Rt_net.Latency.Fixed (Time.ms 3)) in
+  List.iter
+    (fun dst -> Rt_net.Net.set_link net ~src:0 ~dst slow)
+    [ 2; 3; 4 ];
+  let outcome = run_one cluster ~site:0 ~ops:(ops_w [ ("x", "1") ]) in
+  check_committed outcome;
+  for s = 0 to 4 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "replicated at %d despite dropped stash entries" s)
+      (Some "1") (value_at cluster s "x")
+  done
+
+let test_px_early_stash_cap_validated () =
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Config: px_early_stash_cap must be positive") (fun () ->
+      Config.validate
+        { (Config.default ~sites:3 ()) with px_early_stash_cap = 0 })
+
 let commit_cases =
   List.map
     (fun commit ->
@@ -406,6 +438,10 @@ let () =
         [
           Alcotest.test_case "paxos early vote stashed, not dropped" `Quick
             test_paxos_early_vote_stashed_not_dropped;
+          Alcotest.test_case "early-vote stash cap overflow still commits"
+            `Quick test_px_early_stash_cap_overflow_still_commits;
+          Alcotest.test_case "early-vote stash cap validated" `Quick
+            test_px_early_stash_cap_validated;
           Alcotest.test_case "read after write" `Quick test_read_after_write;
           Alcotest.test_case "sequential transactions" `Quick
             test_sequential_transactions;

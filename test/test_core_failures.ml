@@ -278,6 +278,66 @@ let test_timeout_resolves_distributed_deadlock_slowly () =
   Alcotest.(check bool) "some resolution waited for the timeout" true
     (List.exists (fun (_, _, at) -> Time.(at >= Time.ms 15)) resolved)
 
+(* --- storage faults ------------------------------------------------------ *)
+
+(* Seeded regression for the torn-write path end to end: crash a
+   participant exactly as its force-durable announcement fires with the
+   whole device cycle torn away (torn=0).  Recovery's scan must detect
+   the garbled tail, truncate it cleanly — never replay it — and the
+   cluster must still pass the full audit. *)
+let test_torn_tail_truncated_not_replayed () =
+  let config =
+    { (Config.default ~sites:3 ()) with
+      seed = 11;
+      group_commit_window = Time.us 20;
+      batch_window = Some (Time.us 10);
+      storage_faults =
+        { Rt_storage.Storage_faults.off with torn_writes = true } }
+  in
+  let cluster = Cluster.create config in
+  let injected =
+    Failure.crash_at_point cluster ~torn:0 ~site:1 ~point:"wal:force-durable"
+      ~occurrence:1 ~recover_after:(Time.ms 100) ()
+  in
+  let outcome = ref None in
+  Cluster.submit cluster ~site:0
+    ~ops:[ Mix.Write ("a", "1"); Mix.Write ("b", "2") ]
+    ~k:(fun o -> outcome := Some o);
+  run_for cluster (Time.sec 3);
+  Alcotest.(check bool) "crash point reached" true (injected ());
+  Alcotest.(check bool) "client outcome fired" true (!outcome <> None);
+  let s1 = Cluster.site cluster 1 in
+  Alcotest.(check bool) "torn tail detected and truncated" true
+    (Site.torn_truncated s1 > 0);
+  Alcotest.(check bool) "cycle accounted as torn" true
+    ((Site.wal_stats s1).Rt_storage.Wal.st_torn >= 1);
+  Alcotest.(check int) "no corruption declared (tail was above horizon)" 0
+    (Site.corruption_detected s1);
+  let vs =
+    Audit.standard ~writes:[ ("a", "1"); ("b", "2") ] ~settle:(Time.sec 1)
+      cluster
+  in
+  Alcotest.(check int) "audit clean" 0 (List.length vs)
+
+(* Corruption below the durable horizon is data loss and must be loud:
+   the audit's "storage" invariant has to fire, never a silent replay of
+   a truncated log as if nothing happened. *)
+let test_log_corruption_below_horizon_is_loud () =
+  let config = { (Config.default ~sites:3 ()) with seed = 7 } in
+  let cluster = Cluster.create config in
+  check_committed (run_one cluster ~site:0 ~ops:[ Mix.Write ("x", "1") ]);
+  let s1 = Cluster.site cluster 1 in
+  Site.corrupt_wal_record s1 ~lsn:1;
+  Cluster.crash_site cluster 1;
+  run_for cluster (Time.ms 50);
+  Cluster.recover_site cluster 1;
+  run_for cluster (Time.ms 500);
+  Alcotest.(check bool) "durable loss counted" true
+    (Site.corruption_detected s1 > 0);
+  let vs = Audit.standard ~settle:(Time.sec 1) cluster in
+  Alcotest.(check bool) "storage violation reported loudly" true
+    (List.exists (fun v -> v.Audit.inv = "storage") vs)
+
 let () =
   Alcotest.run "core-failures"
     [
@@ -302,6 +362,13 @@ let () =
             test_probes_resolve_distributed_deadlock;
           Alcotest.test_case "timeout backstop without probes" `Quick
             test_timeout_resolves_distributed_deadlock_slowly;
+        ] );
+      ( "storage-faults",
+        [
+          Alcotest.test_case "torn tail truncated, not replayed" `Quick
+            test_torn_tail_truncated_not_replayed;
+          Alcotest.test_case "sub-horizon corruption is loud" `Quick
+            test_log_corruption_below_horizon_is_loud;
         ] );
       ( "partitions",
         [ QCheck_alcotest.to_alcotest prop_random_partitions_never_fork ] );

@@ -29,7 +29,7 @@ let test_sweep_discovers_wal_points () =
      before the records are durable and after. *)
   let _, protocol = find_protocol "2PC-PrN" in
   let stream = Sweep.discover ~protocol ~n:3 ~seed:0 () in
-  let points = List.map snd stream in
+  let points = List.map (fun (_, p, _) -> p) stream in
   Alcotest.(check bool) "volatile side seen" true
     (List.mem "wal:force-volatile" points);
   Alcotest.(check bool) "durable side seen" true

@@ -368,6 +368,170 @@ let test_storage_crash_cycle () =
   Alcotest.(check bool) "c lost (never committed)" false (Kv.mem kv' "c");
   Alcotest.(check int) "b redone" 1 o.redone
 
+(* --- Storage faults --------------------------------------------------- *)
+
+let torn_faults = { Storage_faults.off with torn_writes = true }
+
+let test_torn_crash_truncates_cleanly () =
+  let e = Engine.create () in
+  let wal =
+    Wal.create ~group_window:(Time.us 50) ~faults:torn_faults e
+      ~force_latency:(Time.us 100) ()
+  in
+  ignore (Wal.append wal "a");
+  ignore (Wal.append wal "b");
+  ignore (Wal.append wal "c");
+  Wal.force wal (fun () -> ());
+  (* The window fires at t=50 and the 3-record cycle completes at t=150;
+     crash at t=80 tears it so only one record reached the platter.  The
+     other two survive on disk as garbage with broken checksums. *)
+  ignore (Engine.schedule_at e (Time.us 80) (fun () -> Wal.crash ~torn:1 wal));
+  Engine.run e;
+  Alcotest.(check int) "durable rolled to torn point" 1 (Wal.durable_lsn wal);
+  Alcotest.(check int) "garbage retained for the scan" 3 (Wal.length wal);
+  let st = Wal.stats wal in
+  Alcotest.(check int) "cycle counted torn, not lost" 1 st.st_torn;
+  Alcotest.(check int) "not lost" 0 st.st_lost;
+  Alcotest.(check int) "identity: started = completed + lost + torn"
+    st.st_started
+    (st.st_completed + st.st_lost + st.st_torn);
+  (* Recovery scan: the tail is above the durable horizon, so this is a
+     clean truncation — no durable data was lost. *)
+  let r = Wal.scan wal in
+  Alcotest.(check int) "two garbage records dropped" 2 r.Wal.sc_torn;
+  Alcotest.(check int) "no durable loss" 0 r.Wal.sc_corrupt;
+  Alcotest.(check int) "durable unchanged" 1 (Wal.durable_lsn wal);
+  Alcotest.(check (list string)) "exactly the durable prefix" [ "a" ]
+    (Wal.durable_records wal);
+  let r2 = Wal.scan wal in
+  Alcotest.(check int) "second scan finds nothing (torn)" 0 r2.Wal.sc_torn;
+  Alcotest.(check int) "second scan finds nothing (corrupt)" 0 r2.Wal.sc_corrupt
+
+let test_corruption_below_horizon_is_loud () =
+  let e = Engine.create () in
+  let wal = Wal.create e ~force_latency:(Time.us 10) () in
+  ignore (Wal.append wal "a");
+  ignore (Wal.append wal "b");
+  ignore (Wal.append wal "c");
+  Wal.force wal (fun () -> ());
+  Engine.run e;
+  Alcotest.(check int) "all durable" 3 (Wal.durable_lsn wal);
+  (* Flip a record below the durable horizon: supposedly-stable data. *)
+  Wal.corrupt_record wal ~lsn:2;
+  let r = Wal.scan wal in
+  Alcotest.(check int) "durable loss reported" 2 r.Wal.sc_corrupt;
+  Alcotest.(check int) "not classified as torn" 0 r.Wal.sc_torn;
+  (* The durable point must roll back so the corrupt records are never
+     replayed as if they were good. *)
+  Alcotest.(check int) "durable rolled back" 1 (Wal.durable_lsn wal);
+  Alcotest.(check (list string)) "valid prefix only" [ "a" ]
+    (Wal.durable_records wal);
+  Alcotest.check_raises "cannot corrupt an unretained lsn"
+    (Invalid_argument "Wal.corrupt_record: LSN not retained") (fun () ->
+      Wal.corrupt_record wal ~lsn:9)
+
+let test_checkpoint_corrupt_falls_back_to_previous () =
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  Kv.set kv ~key:"a" ~value:"1" ~version:1;
+  Checkpoint.take cp ~kv ~lsn:5;
+  Kv.set kv ~key:"a" ~value:"2" ~version:2;
+  Checkpoint.take cp ~kv ~lsn:10;
+  Checkpoint.corrupt cp;
+  let kv' = Kv.create () in
+  (match Checkpoint.restore_validated cp kv' with
+  | Checkpoint.R_previous lsn ->
+      Alcotest.(check int) "replay from the previous snapshot" 5 lsn;
+      Alcotest.(check int) "previous content installed" 1 (Kv.version kv' "a")
+  | Checkpoint.R_latest _ -> Alcotest.fail "installed a corrupt snapshot"
+  | Checkpoint.R_none -> Alcotest.fail "previous snapshot was usable");
+  Alcotest.(check (option int)) "previous lsn exposed for truncation floors"
+    (Some 5) (Checkpoint.previous_lsn cp)
+
+let test_checkpoint_corrupt_without_previous_replays_log () =
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  Kv.set kv ~key:"a" ~value:"1" ~version:1;
+  Checkpoint.take cp ~kv ~lsn:5;
+  Alcotest.(check bool) "no previous yet" false (Checkpoint.has_previous cp);
+  Checkpoint.corrupt cp;
+  let kv' = Kv.create () in
+  Kv.set kv' ~key:"junk" ~value:"x" ~version:1;
+  (match Checkpoint.restore_validated cp kv' with
+  | Checkpoint.R_none -> ()
+  | Checkpoint.R_latest _ | Checkpoint.R_previous _ ->
+      Alcotest.fail "expected full log replay");
+  Alcotest.(check int) "store cleared for full replay" 0 (Kv.size kv')
+
+let test_checkpoint_take_never_demotes_corrupt_latest () =
+  (* A corrupt latest must not be demoted to previous by the next take:
+     that would break the fallback chain (double corruption would then
+     silently install garbage or lose the floor). *)
+  let cp = Checkpoint.create () in
+  let kv = Kv.create () in
+  Kv.set kv ~key:"a" ~value:"1" ~version:1;
+  Checkpoint.take cp ~kv ~lsn:5;
+  Kv.set kv ~key:"a" ~value:"2" ~version:2;
+  Checkpoint.take cp ~kv ~lsn:10;
+  Checkpoint.corrupt cp;
+  Kv.set kv ~key:"a" ~value:"3" ~version:3;
+  Checkpoint.take cp ~kv ~lsn:15;
+  Alcotest.(check (option int)) "previous is still the valid lsn-5 snapshot"
+    (Some 5) (Checkpoint.previous_lsn cp);
+  let kv' = Kv.create () in
+  match Checkpoint.restore_validated cp kv' with
+  | Checkpoint.R_latest lsn -> Alcotest.(check int) "fresh latest valid" 15 lsn
+  | Checkpoint.R_previous _ | Checkpoint.R_none ->
+      Alcotest.fail "fresh snapshot should be installable"
+
+(* Any append/force schedule, any crash time, any torn point: after the
+   crash and the recovery scan, the durable log is exactly a prefix of
+   what was appended, every acknowledged force is inside it, the cycle
+   accounting identity holds, and a re-crash plus re-scan is a no-op
+   (recovery is idempotent under double crashes). *)
+let prop_torn_scan_yields_durable_prefix =
+  let gen =
+    QCheck.Gen.(
+      QCheck.Gen.triple (int_range 1 12) (int_range 0 400) (int_range 0 4))
+  in
+  QCheck.Test.make ~name:"torn crash + scan = longest valid durable prefix"
+    ~count:500 (QCheck.make gen)
+    (fun (n, crash_us, keep) ->
+      let e = Engine.create () in
+      let wal =
+        Wal.create ~group_window:(Time.us 30) ~faults:torn_faults e
+          ~force_latency:(Time.us 60) ()
+      in
+      let recs = List.init n (fun i -> Printf.sprintf "r%d" (i + 1)) in
+      let acked = ref 0 in
+      List.iteri
+        (fun i r ->
+          ignore
+            (Engine.schedule_at e (Time.us (i * 25)) (fun () ->
+                 let lsn = Wal.append wal r in
+                 Wal.force wal (fun () -> acked := max !acked lsn))))
+        recs;
+      Engine.run ~until:(Time.us crash_us) e;
+      Wal.crash ~torn:keep wal;
+      ignore (Wal.scan wal);
+      let d = Wal.durable_lsn wal in
+      let prefix = List.filteri (fun i _ -> i < d) recs in
+      let st = Wal.stats wal in
+      let ok =
+        Wal.durable_records wal = prefix
+        && !acked <= d
+        && st.st_started = st.st_completed + st.st_lost + st.st_torn
+        && st.st_pending = 0
+      in
+      (* Crash again during "recovery" and re-scan: both must be no-ops
+         on the already-truncated log. *)
+      Wal.crash ~torn:keep wal;
+      let again = Wal.scan wal in
+      ok
+      && again.Wal.sc_torn = 0
+      && again.Wal.sc_corrupt = 0
+      && Wal.durable_records wal = prefix)
+
 let () =
   Alcotest.run "storage"
     [
@@ -408,5 +572,19 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "empty" `Quick test_checkpoint_empty;
           Alcotest.test_case "crash cycle" `Quick test_storage_crash_cycle;
+        ] );
+      ( "storage faults",
+        [
+          Alcotest.test_case "torn crash truncates cleanly" `Quick
+            test_torn_crash_truncates_cleanly;
+          Alcotest.test_case "corruption below horizon is loud" `Quick
+            test_corruption_below_horizon_is_loud;
+          Alcotest.test_case "corrupt checkpoint falls back" `Quick
+            test_checkpoint_corrupt_falls_back_to_previous;
+          Alcotest.test_case "corrupt-only checkpoint means full replay" `Quick
+            test_checkpoint_corrupt_without_previous_replays_log;
+          Alcotest.test_case "take never demotes a corrupt latest" `Quick
+            test_checkpoint_take_never_demotes_corrupt_latest;
+          QCheck_alcotest.to_alcotest prop_torn_scan_yields_durable_prefix;
         ] );
     ]

@@ -72,6 +72,10 @@ let load path =
        match string_field line "probe" with
        | None -> ()
        | Some probe ->
+           (* The headline number is mandatory; auxiliary counters
+              default to 0 so a snapshot written before a counter
+              existed (or after one is retired) still diffs instead of
+              killing the gate. *)
            let num key =
              match float_field line key with
              | Some v -> v
@@ -80,12 +84,15 @@ let load path =
                    probe key;
                  exit 2
            in
+           let num_opt key =
+             Option.value (float_field line key) ~default:0.
+           in
            rows :=
              {
                probe;
                throughput = num "throughput_txn_s";
-               msgs_per_commit = num "msgs_per_commit";
-               forces_per_commit = num "forces_per_commit";
+               msgs_per_commit = num_opt "msgs_per_commit";
+               forces_per_commit = num_opt "forces_per_commit";
              }
              :: !rows
      done
